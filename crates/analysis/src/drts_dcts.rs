@@ -1,0 +1,193 @@
+//! §2.2 — the all-directional DRTS-DCTS scheme.
+
+use dirca_geometry::paper::drts_dcts_areas;
+
+use crate::integrate::simpson;
+use crate::markov::{throughput_from_chain, ChainInput};
+use crate::model::{validate_p, ModelInput};
+use crate::orts_octs::PANELS;
+use crate::tgeom::truncated_geometric_mean;
+
+/// `P_I(r)`: probability that none of the five interference regions of
+/// Fig. 3 disrupts the handshake, given sender–receiver distance `r`.
+///
+/// Region by region (areas normalized to πR², `p' = p·θ/2π`):
+///
+/// 1. Area I — nodes inside the sender's beam near the receiver do not
+///    know `x` is transmitting; silent for one slot: `e^{−p·S₁·N}`.
+/// 2. Area II — silent toward the pair for `2·l_rts` directional slots and
+///    one omni slot: `e^{−p′·S₂·N·2l_rts}·e^{−p·S₂·N}`.
+/// 3. Area III — silent toward the pair for the whole handshake (θ′ ≈ θ):
+///    `e^{−p′·S₃·N·(2l_rts+l_cts+l_data+l_ack+4)}`.
+/// 4. Area IV — silent toward `x` while `y` sends CTS and ACK:
+///    `e^{−p′·S₄·N·(2l_rts+l_cts+l_ack+2)}`.
+/// 5. Area V — silent toward `y` while `x` sends RTS and DATA:
+///    `e^{−p′·S₅·N·(3l_rts+l_data+2)}`.
+pub fn p_interference_free(input: &ModelInput, p: f64, r: f64) -> f64 {
+    validate_p(p);
+    let t = &input.times;
+    let n = input.n_avg;
+    let pd = input.p_directional(p);
+    let a = drts_dcts_areas(r, input.theta);
+    let w2 = f64::from(2 * t.l_rts);
+    let w3 = f64::from(2 * t.l_rts + t.l_cts + t.l_data + t.l_ack + 4);
+    let w4 = f64::from(2 * t.l_rts + t.l_cts + t.l_ack + 2);
+    let w5 = f64::from(3 * t.l_rts + t.l_data + 2);
+    let p1 = (-p * a.s1 * n).exp();
+    let p2 = (-pd * a.s2 * n * w2).exp() * (-p * a.s2 * n).exp();
+    let p3 = (-pd * a.s3 * n * w3).exp();
+    let p4 = (-pd * a.s4 * n * w4).exp();
+    let p5 = (-pd * a.s5 * n * w5).exp();
+    p1 * p2 * p3 * p4 * p5
+}
+
+/// `P_ws(r) = p·(1−p)·P_I(r)`.
+pub fn p_ws_at(input: &ModelInput, p: f64, r: f64) -> f64 {
+    p * (1.0 - p) * p_interference_free(input, p, r)
+}
+
+/// `P_ws` averaged over the receiver distance with density `f(r) = 2r`.
+pub fn p_ws(input: &ModelInput, p: f64) -> f64 {
+    validate_p(p);
+    simpson(0.0, 1.0, PANELS, |r| {
+        if r == 0.0 {
+            0.0
+        } else {
+            2.0 * r * p_ws_at(input, p, r)
+        }
+    })
+}
+
+/// `P_ww = (1−p)·e^{−p′N}`: with all transmissions directional, only the
+/// fraction θ/2π of neighbour transmissions disturbs the node's wait.
+pub fn p_ww(input: &ModelInput, p: f64) -> f64 {
+    validate_p(p);
+    (1.0 - p) * (-input.p_directional(p) * input.n_avg).exp()
+}
+
+/// Mean failed-handshake duration: truncated geometric on
+/// `[l_rts + 1, T_succeed]` with parameter `p` (the handshake can be cut
+/// short at almost any point because nothing silences all interferers).
+pub fn t_fail(input: &ModelInput, p: f64) -> f64 {
+    let t1 = input.times.l_rts + 1;
+    let t2 = input.times.l_rts + input.times.l_cts + input.times.l_data + input.times.l_ack + 4;
+    truncated_geometric_mean(p, t1, t2)
+}
+
+/// Saturation throughput of DRTS-DCTS at attempt probability `p`.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+///
+/// # Example
+///
+/// ```
+/// use dirca_analysis::{drts_dcts, ModelInput, ProtocolTimes};
+///
+/// let narrow = ModelInput::new(ProtocolTimes::paper(), 5.0, 15f64.to_radians());
+/// let wide = ModelInput::new(ProtocolTimes::paper(), 5.0, 150f64.to_radians());
+/// assert!(drts_dcts::throughput(&narrow, 0.02) > drts_dcts::throughput(&wide, 0.02));
+/// ```
+pub fn throughput(input: &ModelInput, p: f64) -> f64 {
+    let chain = ChainInput {
+        p_ww: p_ww(input, p),
+        p_ws: p_ws(input, p),
+        t_succeed: input.times.t_succeed(),
+        t_fail: t_fail(input, p),
+        l_data: f64::from(input.times.l_data),
+    };
+    throughput_from_chain(&chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ProtocolTimes;
+
+    fn input(theta_deg: f64) -> ModelInput {
+        ModelInput::new(ProtocolTimes::paper(), 5.0, theta_deg.to_radians())
+    }
+
+    #[test]
+    fn interference_free_probability_valid() {
+        for theta in [15.0, 90.0, 180.0] {
+            let inp = input(theta);
+            for &r in &[0.1, 0.5, 0.9, 1.0] {
+                let pi = p_interference_free(&inp, 0.02, r);
+                assert!((0.0..=1.0).contains(&pi), "θ={theta} r={r}: {pi}");
+            }
+        }
+    }
+
+    #[test]
+    fn narrower_beams_suffer_less_interference() {
+        let narrow = p_interference_free(&input(15.0), 0.02, 0.5);
+        let wide = p_interference_free(&input(150.0), 0.02, 0.5);
+        assert!(narrow > wide, "narrow {narrow} <= wide {wide}");
+    }
+
+    #[test]
+    fn p_ws_decreases_with_beamwidth() {
+        // Wider beams expose the handshake to more directional
+        // interference in every region.
+        let p = 0.02;
+        let mut prev = f64::INFINITY;
+        for theta in [15.0, 30.0, 60.0, 120.0, 180.0] {
+            let cur = p_ws(&input(theta), p);
+            assert!(cur <= prev + 1e-12, "P_ws rose at θ={theta}°");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn optimized_throughput_beats_omni_at_narrow_beams() {
+        // The paper's headline: at 15° the all-directional scheme clearly
+        // outperforms the conservative omni scheme.
+        let inp = input(15.0);
+        let dir = crate::optimize::max_throughput(dirca_mac::Scheme::DrtsDcts, &inp);
+        let omni = crate::optimize::max_throughput(dirca_mac::Scheme::OrtsOcts, &inp);
+        assert!(
+            dir.throughput > 1.4 * omni.throughput,
+            "dir {} vs omni {}",
+            dir.throughput,
+            omni.throughput
+        );
+    }
+
+    #[test]
+    fn p_ww_larger_than_omni() {
+        // Directional neighbours disturb the wait state less.
+        let inp = input(30.0);
+        assert!(p_ww(&inp, 0.05) > crate::orts_octs::p_ww(&inp, 0.05));
+    }
+
+    #[test]
+    fn t_fail_bounds() {
+        let inp = input(30.0);
+        let tf = t_fail(&inp, 0.02);
+        assert!((6.0..=119.0).contains(&tf));
+        // At small p, failures are detected quickly.
+        assert!(t_fail(&inp, 1e-6) < 6.1);
+    }
+
+    #[test]
+    fn throughput_decreases_with_beamwidth() {
+        let p = 0.02;
+        let mut prev = f64::INFINITY;
+        for theta in [15.0, 45.0, 90.0, 135.0, 180.0] {
+            let th = throughput(&input(theta), p);
+            assert!(th <= prev + 1e-12, "throughput rose at θ={theta}°");
+            prev = th;
+        }
+    }
+
+    #[test]
+    fn throughput_has_interior_maximum_in_p() {
+        let inp = input(30.0);
+        let low = throughput(&inp, 0.0005);
+        let mid = throughput(&inp, 0.05);
+        let high = throughput(&inp, 0.6);
+        assert!(mid > low && mid > high);
+    }
+}

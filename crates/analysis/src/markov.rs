@@ -1,0 +1,140 @@
+//! The three-state node Markov chain (Fig. 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Inputs to the chain: transition probabilities and state durations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChainInput {
+    /// Probability of staying in *wait* for another slot.
+    pub p_ww: f64,
+    /// Probability of moving from *wait* to *succeed*.
+    pub p_ws: f64,
+    /// Duration of a successful handshake, in slots.
+    pub t_succeed: f64,
+    /// Mean duration of a failed handshake, in slots.
+    pub t_fail: f64,
+    /// Data packet length, in slots.
+    pub l_data: f64,
+}
+
+/// Steady-state occupation probabilities of the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SteadyState {
+    /// π_w — probability of the *wait* state.
+    pub wait: f64,
+    /// π_s — probability of the *succeed* state.
+    pub succeed: f64,
+    /// π_f — probability of the *fail* state.
+    pub fail: f64,
+}
+
+/// Solves the chain: `π_w = 1/(2 − P_ww)`, `π_s = π_w·P_ws`,
+/// `π_f = 1 − π_w − π_s`.
+///
+/// # Panics
+///
+/// Panics if the probabilities are outside `[0, 1]` or `p_ws > 1 − p_ww`
+/// (the *wait* state's exits cannot exceed its non-self mass).
+pub fn steady_state(input: &ChainInput) -> SteadyState {
+    assert!(
+        (0.0..=1.0).contains(&input.p_ww) && (0.0..=1.0).contains(&input.p_ws),
+        "transition probabilities must be in [0, 1]"
+    );
+    assert!(
+        input.p_ws <= 1.0 - input.p_ww + 1e-12,
+        "p_ws {} exceeds available transition mass 1 - p_ww {}",
+        input.p_ws,
+        1.0 - input.p_ww
+    );
+    let wait = 1.0 / (2.0 - input.p_ww);
+    let succeed = wait * input.p_ws;
+    let fail = (1.0 - wait - succeed).max(0.0);
+    SteadyState {
+        wait,
+        succeed,
+        fail,
+    }
+}
+
+/// The paper's throughput formula: time in successful data transmission
+/// over total time, weighting each state by its duration.
+///
+/// # Panics
+///
+/// Panics on invalid chain inputs (see [`steady_state`]) or non-positive
+/// durations.
+pub fn throughput_from_chain(input: &ChainInput) -> f64 {
+    assert!(
+        input.t_succeed > 0.0 && input.t_fail > 0.0 && input.l_data > 0.0,
+        "durations must be positive"
+    );
+    let ss = steady_state(input);
+    let denom = ss.wait + ss.succeed * input.t_succeed + ss.fail * input.t_fail;
+    input.l_data * ss.succeed / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(p_ww: f64, p_ws: f64) -> ChainInput {
+        ChainInput {
+            p_ww,
+            p_ws,
+            t_succeed: 119.0,
+            t_fail: 12.0,
+            l_data: 100.0,
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let ss = steady_state(&chain(0.9, 0.05));
+        assert!((ss.wait + ss.succeed + ss.fail - 1.0).abs() < 1e-12);
+        assert!(ss.wait > 0.0 && ss.succeed > 0.0 && ss.fail >= 0.0);
+    }
+
+    #[test]
+    fn no_transmissions_means_all_wait() {
+        // p_ww = 1: the node never leaves wait.
+        let ss = steady_state(&chain(1.0, 0.0));
+        assert!((ss.wait - 1.0).abs() < 1e-12);
+        assert_eq!(ss.succeed, 0.0);
+    }
+
+    #[test]
+    fn always_succeed_splits_between_wait_and_succeed() {
+        // Every attempt succeeds: p_ws = 1 - p_ww.
+        let ss = steady_state(&chain(0.8, 0.2));
+        assert!(ss.fail.abs() < 1e-12);
+        assert!((ss.wait - 1.0 / 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_increases_with_success_probability() {
+        let low = throughput_from_chain(&chain(0.9, 0.01));
+        let high = throughput_from_chain(&chain(0.9, 0.05));
+        assert!(high > low);
+    }
+
+    #[test]
+    fn throughput_bounded_by_data_fraction() {
+        // Even a node that always succeeds spends T_s slots per l_data.
+        let th = throughput_from_chain(&chain(0.5, 0.5));
+        assert!(th <= 100.0 / 119.0 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "transition mass")]
+    fn rejects_overfull_exits() {
+        let _ = steady_state(&chain(0.9, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "durations must be positive")]
+    fn rejects_zero_durations() {
+        let mut c = chain(0.9, 0.05);
+        c.t_fail = 0.0;
+        let _ = throughput_from_chain(&c);
+    }
+}

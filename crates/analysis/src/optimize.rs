@@ -1,0 +1,159 @@
+//! Maximizing throughput over the attempt probability `p`.
+
+use dirca_mac::Scheme;
+use serde::{Deserialize, Serialize};
+
+use crate::{throughput, ModelInput};
+
+/// The result of a throughput maximization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Optimum {
+    /// Argmax attempt probability.
+    pub p: f64,
+    /// Maximum throughput.
+    pub throughput: f64,
+}
+
+/// Maximizes a unimodal-ish function on `(0, 1)` by a coarse logarithmic
+/// grid scan followed by golden-section refinement around the best cell.
+///
+/// # Panics
+///
+/// Panics if the function returns a non-finite value.
+pub fn maximize(f: impl Fn(f64) -> f64) -> Optimum {
+    // Log grid from 1e-4 to 0.9: throughput optima of collision-avoidance
+    // protocols sit at small p, but keep headroom for degenerate inputs.
+    const GRID: usize = 120;
+    let lo = 1e-4f64;
+    let hi = 0.9f64;
+    let ratio = (hi / lo).powf(1.0 / (GRID - 1) as f64);
+    let mut best_i = 0;
+    let mut best_v = f64::NEG_INFINITY;
+    let mut xs = Vec::with_capacity(GRID);
+    for i in 0..GRID {
+        let x = lo * ratio.powi(i as i32);
+        let v = f(x);
+        assert!(v.is_finite(), "objective not finite at p={x}: {v}");
+        xs.push(x);
+        if v > best_v {
+            best_v = v;
+            best_i = i;
+        }
+    }
+    // Golden-section search in the bracket around the best grid point.
+    let mut a = xs[best_i.saturating_sub(1)];
+    let mut b = xs[(best_i + 1).min(GRID - 1)];
+    if a >= b {
+        return Optimum {
+            p: xs[best_i],
+            throughput: best_v,
+        };
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let mut c = b - (b - a) * INV_PHI;
+    let mut d = a + (b - a) * INV_PHI;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..80 {
+        if fc >= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * INV_PHI;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * INV_PHI;
+            fd = f(d);
+        }
+        if (b - a).abs() < 1e-10 {
+            break;
+        }
+    }
+    let p = (a + b) / 2.0;
+    let v = f(p);
+    if v >= best_v {
+        Optimum { p, throughput: v }
+    } else {
+        Optimum {
+            p: xs[best_i],
+            throughput: best_v,
+        }
+    }
+}
+
+/// The paper's "maximum achievable throughput": the throughput of `scheme`
+/// maximized over the attempt probability `p`.
+///
+/// # Example
+///
+/// ```
+/// use dirca_analysis::{optimize, ModelInput, ProtocolTimes};
+/// use dirca_mac::Scheme;
+///
+/// let input = ModelInput::new(ProtocolTimes::paper(), 5.0, 30f64.to_radians());
+/// let best = optimize::max_throughput(Scheme::DrtsDcts, &input);
+/// assert!(best.throughput > 0.3);
+/// assert!(best.p > 0.0 && best.p < 0.5);
+/// ```
+pub fn max_throughput(scheme: Scheme, input: &ModelInput) -> Optimum {
+    maximize(|p| throughput(scheme, input, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProtocolTimes;
+
+    #[test]
+    fn maximize_finds_parabola_peak() {
+        let opt = maximize(|x| -(x - 0.25) * (x - 0.25));
+        assert!((opt.p - 0.25).abs() < 1e-5, "found {}", opt.p);
+        assert!(opt.throughput.abs() < 1e-9);
+    }
+
+    #[test]
+    fn maximize_handles_monotone_decreasing() {
+        // Peak at the left edge of the grid.
+        let opt = maximize(|x| -x);
+        assert!(opt.p <= 2e-4);
+    }
+
+    #[test]
+    fn max_throughput_beats_fixed_p() {
+        let input = ModelInput::new(ProtocolTimes::paper(), 5.0, 1.0);
+        for scheme in Scheme::ALL {
+            let best = max_throughput(scheme, &input);
+            for &p in &[0.001, 0.01, 0.1] {
+                assert!(
+                    best.throughput >= crate::throughput(scheme, &input, p) - 1e-9,
+                    "{scheme}: optimum below fixed p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_p_is_small_for_dense_networks() {
+        // Collision avoidance forces small attempt probabilities (the paper
+        // argues p ≲ 0.1).
+        let input = ModelInput::new(ProtocolTimes::paper(), 8.0, 1.0);
+        let best = max_throughput(Scheme::OrtsOcts, &input);
+        assert!(best.p < 0.1, "optimal p {} unexpectedly large", best.p);
+    }
+
+    #[test]
+    fn optimal_p_decreases_with_density() {
+        let sparse = max_throughput(
+            Scheme::OrtsOcts,
+            &ModelInput::new(ProtocolTimes::paper(), 3.0, 1.0),
+        );
+        let dense = max_throughput(
+            Scheme::OrtsOcts,
+            &ModelInput::new(ProtocolTimes::paper(), 8.0, 1.0),
+        );
+        assert!(dense.p < sparse.p);
+    }
+}

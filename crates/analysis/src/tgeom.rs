@@ -1,0 +1,111 @@
+//! The truncated geometric distribution of failed-handshake durations.
+
+/// Mean of a geometric distribution with parameter `p`, truncated to the
+/// integer support `[t1, t2]`:
+///
+/// ```text
+///             1 − p       t2−t1
+/// T_fail = ─────────────   Σ    pⁱ · (t1 + i)
+///          1 − p^(t2−t1+1) i=0
+/// ```
+///
+/// The paper models the duration of a failed DRTS-DCTS (or DRTS-OCTS)
+/// handshake this way: a failure is detected no earlier than `t1` slots in,
+/// no later than the full handshake length `t2`, and longer survivals are
+/// geometrically less likely.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1` and `t1 <= t2`.
+///
+/// # Example
+///
+/// ```
+/// use dirca_analysis::truncated_geometric_mean;
+///
+/// // With a tiny p virtually all mass sits at t1.
+/// let m = truncated_geometric_mean(1e-9, 6, 119);
+/// assert!((m - 6.0).abs() < 1e-6);
+/// ```
+pub fn truncated_geometric_mean(p: f64, t1: u32, t2: u32) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+    assert!(t1 <= t2, "t1 {t1} must not exceed t2 {t2}");
+    let span = t2 - t1;
+    let mut weighted = 0.0;
+    let mut p_i = 1.0;
+    for i in 0..=span {
+        weighted += p_i * f64::from(t1 + i);
+        p_i *= p;
+    }
+    // After the loop, p_i == p^(span+1).
+    (1.0 - p) / (1.0 - p_i) * weighted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_support_is_t1() {
+        assert!((truncated_geometric_mean(0.3, 7, 7) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_within_support() {
+        for &p in &[0.001, 0.05, 0.3, 0.9] {
+            let m = truncated_geometric_mean(p, 6, 119);
+            assert!((6.0..=119.0).contains(&m), "p={p}: mean {m} out of range");
+        }
+    }
+
+    #[test]
+    fn mean_increases_with_p() {
+        let lo = truncated_geometric_mean(0.01, 6, 119);
+        let hi = truncated_geometric_mean(0.5, 6, 119);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn small_p_concentrates_at_t1() {
+        let m = truncated_geometric_mean(1e-12, 12, 119);
+        assert!((m - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_p_approaches_uniform_mean() {
+        // As p → 1 the truncated geometric tends to uniform on [t1, t2].
+        let m = truncated_geometric_mean(0.999999, 0, 10);
+        assert!((m - 5.0).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn normalization_weights_sum_to_one() {
+        // Direct check of the distribution: Σ P(i) == 1.
+        let (p, t1, t2) = (0.2f64, 3u32, 9u32);
+        let norm: f64 = (0..=(t2 - t1))
+            .map(|i| (1.0 - p) / (1.0 - p.powi((t2 - t1 + 1) as i32)) * p.powi(i as i32))
+            .sum();
+        assert!((norm - 1.0).abs() < 1e-12);
+        // And the implementation matches the direct weighted sum.
+        let direct: f64 = (0..=(t2 - t1))
+            .map(|i| {
+                (1.0 - p) / (1.0 - p.powi((t2 - t1 + 1) as i32))
+                    * p.powi(i as i32)
+                    * f64::from(t1 + i)
+            })
+            .sum();
+        assert!((truncated_geometric_mean(p, t1, t2) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn rejects_p_one() {
+        let _ = truncated_geometric_mean(1.0, 1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn rejects_inverted_support() {
+        let _ = truncated_geometric_mean(0.5, 5, 4);
+    }
+}

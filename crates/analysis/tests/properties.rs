@@ -1,0 +1,173 @@
+//! Property-based tests of the analytical model: for any admissible
+//! parameters, throughput stays physical and the Markov chain stays a
+//! probability distribution.
+
+use dirca_analysis::{
+    drts_dcts, drts_octs, orts_octs, simpson, throughput, truncated_geometric_mean, ModelInput,
+    ProtocolTimes,
+};
+use dirca_mac::Scheme;
+use proptest::prelude::*;
+
+fn times_strategy() -> impl Strategy<Value = ProtocolTimes> {
+    (1u32..20, 1u32..20, 5u32..400, 1u32..20).prop_map(|(l_rts, l_cts, l_data, l_ack)| {
+        ProtocolTimes {
+            l_rts,
+            l_cts,
+            l_data,
+            l_ack,
+        }
+    })
+}
+
+fn input_strategy() -> impl Strategy<Value = ModelInput> {
+    (
+        times_strategy(),
+        0.5f64..20.0,
+        0.02f64..std::f64::consts::TAU,
+    )
+        .prop_map(|(times, n_avg, theta)| ModelInput::new(times, n_avg, theta))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn throughput_is_physical(input in input_strategy(), p in 0.0001f64..0.9) {
+        // Throughput is a time fraction spent on successful data: it must
+        // lie in [0, l_data / T_succeed).
+        let ceiling = f64::from(input.times.l_data) / input.times.t_succeed();
+        for scheme in Scheme::ALL {
+            let th = throughput(scheme, &input, p);
+            prop_assert!(th.is_finite(), "{scheme}: non-finite");
+            prop_assert!(th >= 0.0, "{scheme}: negative {th}");
+            prop_assert!(th <= ceiling + 1e-12, "{scheme}: {th} above ceiling {ceiling}");
+        }
+    }
+
+    #[test]
+    fn success_probability_below_attempt_probability(input in input_strategy(), p in 0.0001f64..0.5) {
+        // P_ws conditions on the node transmitting (probability p) and
+        // more, so it can never exceed p.
+        prop_assert!(orts_octs::p_ws(&input, p) <= p);
+        prop_assert!(drts_dcts::p_ws(&input, p) <= p);
+        prop_assert!(drts_octs::p_ws(&input, p) <= p);
+    }
+
+    #[test]
+    fn p_ww_is_probability_and_decreases_with_density(
+        times in times_strategy(),
+        theta in 0.02f64..std::f64::consts::TAU,
+        p in 0.0001f64..0.5,
+        n in 0.5f64..10.0,
+    ) {
+        let sparse = ModelInput::new(times, n, theta);
+        let dense = ModelInput::new(times, n * 2.0, theta);
+        for f in [orts_octs::p_ww, drts_dcts::p_ww, drts_octs::p_ww] {
+            let a = f(&sparse, p);
+            let b = f(&dense, p);
+            prop_assert!((0.0..=1.0).contains(&a));
+            prop_assert!(b <= a + 1e-12, "P_ww rose with density");
+        }
+    }
+
+    #[test]
+    fn t_fail_within_support(input in input_strategy(), p in 0.0001f64..0.9) {
+        let t = &input.times;
+        let t_max = f64::from(t.l_rts + t.l_cts + t.l_data + t.l_ack + 4);
+        let full = drts_dcts::t_fail(&input, p);
+        prop_assert!(full >= f64::from(t.l_rts + 1) - 1e-9);
+        prop_assert!(full <= t_max + 1e-9);
+        let hybrid = drts_octs::t_fail(&input, p);
+        prop_assert!(hybrid >= f64::from(t.l_rts + t.l_cts + 2) - 1e-9);
+        prop_assert!(hybrid <= t_max + 1e-9);
+        prop_assert!(hybrid >= full - 1e-9, "hybrid failures cannot be cheaper");
+    }
+
+    #[test]
+    fn truncated_geometric_mean_is_monotone_in_bounds(
+        p in 0.001f64..0.999,
+        t1 in 1u32..50,
+        span in 0u32..100,
+    ) {
+        let m = truncated_geometric_mean(p, t1, t1 + span);
+        prop_assert!(m >= f64::from(t1) - 1e-9);
+        prop_assert!(m <= f64::from(t1 + span) + 1e-9);
+        // Widening the support can only raise the mean.
+        let wider = truncated_geometric_mean(p, t1, t1 + span + 10);
+        prop_assert!(wider >= m - 1e-9);
+    }
+
+    #[test]
+    fn simpson_agrees_with_antiderivative_for_quartics(
+        a in -2.0f64..2.0,
+        len in 0.01f64..3.0,
+        c3 in -2.0f64..2.0,
+        c2 in -2.0f64..2.0,
+    ) {
+        let b = a + len;
+        let f = |x: f64| c3 * x * x * x + c2 * x * x + 1.0;
+        let antider = |x: f64| c3 * x.powi(4) / 4.0 + c2 * x.powi(3) / 3.0 + x;
+        let got = simpson(a, b, 256, f);
+        let exact = antider(b) - antider(a);
+        prop_assert!((got - exact).abs() < 1e-6 * (1.0 + exact.abs()));
+    }
+
+    #[test]
+    fn narrowing_the_beam_raises_p_ww(
+        times in times_strategy(),
+        n in 1.0f64..10.0,
+        p in 0.001f64..0.5,
+        theta in 0.1f64..std::f64::consts::TAU,
+    ) {
+        // A waiting node is disturbed at the directional rate p' = p·θ/2π,
+        // so narrowing the beam always makes waits stickier.
+        let wide = drts_dcts::p_ww(&ModelInput::new(times, n, theta), p);
+        let narrow = drts_dcts::p_ww(&ModelInput::new(times, n, theta / 2.0), p);
+        prop_assert!(narrow >= wide - 1e-12);
+    }
+
+    #[test]
+    fn narrowing_the_beam_helps_at_paper_lengths(
+        n in 1.0f64..8.0,
+        p in 0.001f64..0.03,
+        theta in 0.5f64..2.6,
+    ) {
+        // With the paper's packet lengths, moderate beamwidths (clear of
+        // the tan(θ/2) blow-up near 180°), and attempt probabilities in
+        // the collision-avoidance regime (p ≲ 0.03, where the paper's
+        // optima live), DRTS-DCTS throughput is monotone in θ. Outside
+        // this envelope the model is genuinely non-monotone — see
+        // `wider_beams_can_win_for_short_handshakes`.
+        let times = ProtocolTimes::paper();
+        let wide = throughput(Scheme::DrtsDcts, &ModelInput::new(times, n, theta), p);
+        let narrow = throughput(Scheme::DrtsDcts, &ModelInput::new(times, n, theta / 2.0), p);
+        prop_assert!(narrow >= wide - 1e-9, "narrow {narrow} < wide {wide} at θ={theta}");
+    }
+}
+
+/// A documented corner of the paper's model, found by property testing:
+/// for very short handshakes (control packets of 1 slot) at high attempt
+/// probability, a *wider* beam can beat a narrower one at fixed `p`. The
+/// cause is geometric: at short sender–receiver distances a wide beam
+/// covers most of the two-disk lens, leaving almost no Area III — the
+/// region exposed for the whole handshake — whereas a narrow beam pushes
+/// most of the lens into Area III. With `l_data` large (the paper's
+/// regime) the effect washes out, which is why Fig. 5 is monotone.
+#[test]
+fn wider_beams_can_win_for_short_handshakes() {
+    let times = ProtocolTimes {
+        l_rts: 1,
+        l_cts: 1,
+        l_data: 39,
+        l_ack: 4,
+    };
+    let p = 0.18;
+    let n = 4.25;
+    let wide = throughput(Scheme::DrtsDcts, &ModelInput::new(times, n, 3.05), p);
+    let narrow = throughput(Scheme::DrtsDcts, &ModelInput::new(times, n, 3.05 / 2.0), p);
+    assert!(
+        wide > narrow,
+        "expected the documented non-monotonicity: wide {wide} <= narrow {narrow}"
+    );
+}

@@ -1,0 +1,51 @@
+//! Benchmarks for the analytical model (E7): single-point throughput
+//! evaluations, the p-optimizer, and the ablation table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dirca_analysis::ablation::ablation_table;
+use dirca_analysis::optimize::max_throughput;
+use dirca_analysis::{throughput, ModelInput, ProtocolTimes};
+use dirca_mac::Scheme;
+
+fn bench_throughput_eval(c: &mut Criterion) {
+    let input = ModelInput::new(ProtocolTimes::paper(), 5.0, 30f64.to_radians());
+    let mut group = c.benchmark_group("analysis_throughput");
+    for scheme in Scheme::ALL {
+        group.bench_function(format!("{scheme}"), |b| {
+            b.iter(|| black_box(throughput(scheme, black_box(&input), black_box(0.02))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let input = ModelInput::new(ProtocolTimes::paper(), 5.0, 30f64.to_radians());
+    c.bench_function("analysis_optimize_drts_dcts", |b| {
+        b.iter(|| black_box(max_throughput(Scheme::DrtsDcts, black_box(&input))))
+    });
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_ablation");
+    group.sample_size(10);
+    group.bench_function("table_three_thetas", |b| {
+        b.iter(|| {
+            black_box(ablation_table(
+                ProtocolTimes::paper(),
+                black_box(5.0),
+                &[30.0, 90.0, 150.0],
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_throughput_eval,
+    bench_optimizer,
+    bench_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the simulation substrate: event-queue throughput
+//! and end-to-end simulated-seconds-per-wallclock-second of the full
+//! 802.11 stack on fixture topologies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dirca_mac::Scheme;
+use dirca_net::{run, SimConfig};
+use dirca_sim::{EventQueue, SimDuration, SimTime};
+use dirca_topology::fixtures;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Pseudo-shuffled timestamps.
+                q.push(SimTime::from_nanos(i.wrapping_mul(0x9E3779B97F4A7C15)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_1s");
+    group.sample_size(10);
+    for (name, topo) in [
+        ("pair", fixtures::pair(0.5, 1.0)),
+        ("hidden_terminal", fixtures::hidden_terminal()),
+        ("parallel_pairs", fixtures::parallel_pairs()),
+    ] {
+        group.bench_function(name, |b| {
+            let config = SimConfig::new(Scheme::OrtsOcts)
+                .with_seed(1)
+                .with_warmup(SimDuration::from_millis(10))
+                .with_measure(SimDuration::from_secs(1));
+            b.iter(|| black_box(run(black_box(&topo), &config)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_end_to_end);
+criterion_main!(benches);

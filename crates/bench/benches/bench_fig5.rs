@@ -1,0 +1,25 @@
+//! Benchmarks regenerating Fig. 5 (E1): the full analytical beamwidth
+//! sweep, per density.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dirca_analysis::sweep::{fig5, paper_theta_grid};
+use dirca_analysis::ProtocolTimes;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    for n in [3.0, 5.0, 8.0] {
+        group.bench_function(format!("sweep_n{n}"), |b| {
+            b.iter(|| {
+                let rows = fig5(ProtocolTimes::paper(), black_box(n), &paper_theta_grid());
+                black_box(rows)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

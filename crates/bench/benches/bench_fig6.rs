@@ -1,0 +1,26 @@
+//! Benchmarks regenerating one cell of Figs. 6/7 and the collision-ratio/
+//! fairness statistics (E3-E6; the same simulation runs produce all four
+//! metrics).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dirca_experiments::ringsim::{run_cell, RingExperiment};
+use dirca_mac::Scheme;
+
+fn bench_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_cell");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        for (n, theta) in [(3usize, 30.0), (5, 90.0)] {
+            group.bench_function(format!("{scheme}_n{n}_theta{theta}"), |b| {
+                let exp = RingExperiment::quick(scheme, n, theta);
+                b.iter(|| black_box(run_cell(black_box(&exp), 2)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cells);
+criterion_main!(benches);

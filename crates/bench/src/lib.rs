@@ -1,0 +1,6 @@
+//! Benchmark support crate.
+//!
+//! The interesting content lives in `benches/`: one Criterion target per
+//! reproduced experiment (`bench_fig5`, `bench_fig6` covering Figs. 6/7
+//! whose runs are shared, `bench_analysis` for the model ablations) plus
+//! `bench_engine` micro-benchmarks of the simulation substrate.

@@ -1,0 +1,77 @@
+//! E13 — airtime accounting: where does each scheme's time go?
+//!
+//! For each scheme, sums the measured nodes' transmit airtime by frame
+//! kind over the ring simulation and reports the control overhead and the
+//! idle/deferring remainder — the direct measurement behind the paper's
+//! claim that conservative collision avoidance wastes channel time on
+//! coordination and waiting.
+//!
+//! Usage: `airtime [--quick] [--n 5] [--theta 30] [--topologies 8]`
+
+use dirca_experiments::cli::Flags;
+use dirca_experiments::table::Table;
+use dirca_mac::Scheme;
+use dirca_net::{run, SimConfig};
+use dirca_sim::{rng::derive_seed, rng::stream_rng, SimDuration};
+use dirca_topology::RingSpec;
+
+fn main() {
+    let flags = Flags::from_env();
+    let quick = flags.has("quick");
+    let n = flags.get_usize("n", 5);
+    let theta = flags.get_f64("theta", 30.0);
+    let topologies = flags.get_usize("topologies", if quick { 3 } else { 8 });
+    let measure =
+        SimDuration::from_millis(flags.get_u64("measure-ms", if quick { 1000 } else { 5000 }));
+    let seed = flags.get_u64("seed", 0xA127);
+
+    let mut t = Table::new(vec![
+        "scheme".into(),
+        "data %".into(),
+        "RTS %".into(),
+        "CTS %".into(),
+        "ACK %".into(),
+        "idle/defer %".into(),
+        "goodput".into(),
+    ]);
+    for scheme in Scheme::ALL {
+        // Average fractions over topologies; airtime fractions are per
+        // measured node-second.
+        let mut frac = [0.0f64; 5];
+        let mut goodput = 0.0;
+        for index in 0..topologies {
+            let spec = RingSpec::paper(n, 1.0);
+            let mut topo_rng = stream_rng(derive_seed(seed, 0xA11CE), index as u64);
+            let topology = spec.generate(&mut topo_rng).expect("topology generation");
+            let config = SimConfig::new(scheme)
+                .with_beamwidth_degrees(theta)
+                .with_seed(derive_seed(seed, 0xB0B + index as u64))
+                .with_warmup(SimDuration::from_millis(200))
+                .with_measure(measure);
+            let result = run(&topology, &config);
+            let air = result.airtime_breakdown();
+            let node_seconds = measure.as_secs_f64() * n as f64;
+            frac[0] += air.data.as_secs_f64() / node_seconds;
+            frac[1] += air.rts.as_secs_f64() / node_seconds;
+            frac[2] += air.cts.as_secs_f64() / node_seconds;
+            frac[3] += air.ack.as_secs_f64() / node_seconds;
+            frac[4] += 1.0 - air.total().as_secs_f64() / node_seconds;
+            goodput += result.aggregate_throughput_bps() / 2e6;
+        }
+        let k = topologies as f64;
+        t.row(vec![
+            scheme.to_string(),
+            format!("{:.1}", 100.0 * frac[0] / k),
+            format!("{:.1}", 100.0 * frac[1] / k),
+            format!("{:.1}", 100.0 * frac[2] / k),
+            format!("{:.1}", 100.0 * frac[3] / k),
+            format!("{:.1}", 100.0 * frac[4] / k),
+            format!("{:.3}", goodput / k),
+        ]);
+    }
+    println!(
+        "Airtime breakdown per measured node (N = {n}, θ = {theta}°, {topologies} topologies)\n\
+         (percent of each inner node's wall-clock; idle/defer = not transmitting)\n\n{}",
+        t.render()
+    );
+}

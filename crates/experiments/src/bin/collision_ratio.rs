@@ -1,0 +1,21 @@
+//! E5 — the collision-ratio statistic of §4 (results the paper omitted
+//! for space): among handshakes that reached the data stage, the fraction
+//! whose data frame was never acknowledged.
+//!
+//! Usage: same flags as `fig6`.
+
+use dirca_experiments::cli::Flags;
+use dirca_experiments::report::{grid_report, GridScale, Metric};
+
+fn main() {
+    let scale = GridScale::from_flags(&Flags::from_env());
+    println!(
+        "{}",
+        grid_report(
+            "Collision ratio — ACK-timeout handshakes / handshakes reaching the data stage\n\
+             (mean [min, max] over topologies; higher = poorer collision avoidance)",
+            Metric::CollisionRatio,
+            &scale,
+        )
+    );
+}

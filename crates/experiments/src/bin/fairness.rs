@@ -1,0 +1,21 @@
+//! E6 — the fairness discussion of §4: Jain's index over the inner nodes'
+//! throughputs, per scheme/beamwidth/density. The paper reports (without
+//! figures) that wide beams with few competing nodes are much less fair.
+//!
+//! Usage: same flags as `fig6`.
+
+use dirca_experiments::cli::Flags;
+use dirca_experiments::report::{grid_report, GridScale, Metric};
+
+fn main() {
+    let scale = GridScale::from_flags(&Flags::from_env());
+    println!(
+        "{}",
+        grid_report(
+            "Jain fairness index over the inner N nodes' throughputs\n\
+             (mean [min, max] over topologies; 1 = perfectly fair)",
+            Metric::Jain,
+            &scale,
+        )
+    );
+}

@@ -1,0 +1,25 @@
+//! E1 — regenerates Fig. 5: analytical maximum throughput vs beamwidth.
+//!
+//! Usage: `fig5 [--n 5] [--all] [--with-p]`
+//!
+//! `--n` selects a single density; `--all` prints N = 3, 5, and 8;
+//! `--with-p` also prints the optimal attempt probabilities.
+
+use dirca_experiments::cli::Flags;
+use dirca_experiments::fig5;
+
+fn main() {
+    let flags = Flags::from_env();
+    let densities: Vec<f64> = if flags.has("all") {
+        vec![3.0, 5.0, 8.0]
+    } else {
+        vec![flags.get_f64("n", 5.0)]
+    };
+    for n in densities {
+        let rows = fig5::compute(n);
+        println!("{}", fig5::render(n, &rows));
+        if flags.has("with-p") {
+            println!("{}", fig5::render_optimal_p(n));
+        }
+    }
+}

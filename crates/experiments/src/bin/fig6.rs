@@ -1,0 +1,21 @@
+//! E3 — regenerates Fig. 6: simulated throughput of the three schemes on
+//! ring topologies (mean and min-max range over topologies).
+//!
+//! Usage: `fig6 [--quick] [--topologies 50] [--measure-ms 10000]
+//!               [--n 3|5|8] [--theta 30|90|150] [--threads K] [--seed S]`
+
+use dirca_experiments::cli::Flags;
+use dirca_experiments::report::{grid_report, GridScale, Metric};
+
+fn main() {
+    let scale = GridScale::from_flags(&Flags::from_env());
+    println!(
+        "{}",
+        grid_report(
+            "Fig. 6 — throughput of the inner N nodes, normalized to the 2 Mbps channel\n\
+             (mean [min, max] over topologies; 1460-byte saturated CBR)",
+            Metric::Throughput,
+            &scale,
+        )
+    );
+}

@@ -1,0 +1,20 @@
+//! E4 — regenerates Fig. 7: simulated mean MAC service delay (packet
+//! head-of-queue to ACK) of the three schemes on ring topologies.
+//!
+//! Usage: same flags as `fig6`.
+
+use dirca_experiments::cli::Flags;
+use dirca_experiments::report::{grid_report, GridScale, Metric};
+
+fn main() {
+    let scale = GridScale::from_flags(&Flags::from_env());
+    println!(
+        "{}",
+        grid_report(
+            "Fig. 7 — mean MAC delay (ms) of the inner N nodes\n\
+             (mean [min, max] over topologies)",
+            Metric::DelayMs,
+            &scale,
+        )
+    );
+}

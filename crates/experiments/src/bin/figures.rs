@@ -1,0 +1,84 @@
+//! Regenerates the paper's figures as SVG files under `figures/`.
+//!
+//! * `fig5_n{3,5,8}.svg` — analytical throughput vs beamwidth.
+//! * `fig6_n{N}.svg` / `fig7_n{N}.svg` — simulated throughput / delay vs
+//!   beamwidth with min-max whiskers.
+//!
+//! Usage: `figures [--quick] [--topologies T] [--measure-ms M] [--out DIR]`
+
+use dirca_experiments::cli::Flags;
+use dirca_experiments::plot::{LineChart, PlotPoint};
+use dirca_experiments::report::GridScale;
+use dirca_experiments::ringsim::run_cell;
+use dirca_experiments::{fig5, ringsim::RingOutcome};
+use dirca_mac::Scheme;
+
+fn main() {
+    let flags = Flags::from_env();
+    let out = flags.get("out").unwrap_or("figures").to_string();
+    std::fs::create_dir_all(&out).expect("create output directory");
+    let scale = GridScale::from_flags(&flags);
+
+    // Fig. 5 (analysis): fine beamwidth grid, one file per density.
+    for n in [3.0, 5.0, 8.0] {
+        let rows = fig5::compute(n);
+        let mut chart = LineChart::new(
+            format!("Fig. 5 — max achievable throughput (analysis, N = {n})"),
+            "beamwidth θ (degrees)",
+            "throughput",
+        );
+        for scheme in Scheme::ALL {
+            chart.series(
+                scheme.to_string(),
+                rows.iter()
+                    .map(|r| PlotPoint::new(r.theta_degrees, r.get(scheme)))
+                    .collect(),
+            );
+        }
+        let path = format!("{out}/fig5_n{n:.0}.svg");
+        chart.save(&path).expect("write fig5 svg");
+        eprintln!("wrote {path}");
+    }
+
+    // Figs. 6 and 7 (simulation): whiskered curves per density.
+    for &n in &scale.densities {
+        let mut outcomes: Vec<(f64, Scheme, RingOutcome)> = Vec::new();
+        for &theta in &scale.beamwidths {
+            for scheme in Scheme::ALL {
+                let outcome = run_cell(&scale.cell(scheme, n, theta), scale.threads);
+                outcomes.push((theta, scheme, outcome));
+            }
+        }
+        for (fig, label, pick) in [
+            ("fig6", "normalized throughput", 0usize),
+            ("fig7", "mean MAC delay (ms)", 1),
+        ] {
+            let mut chart = LineChart::new(
+                format!(
+                    "{} — simulation, N = {n}",
+                    if fig == "fig6" { "Fig. 6" } else { "Fig. 7" }
+                ),
+                "beamwidth θ (degrees)",
+                label,
+            );
+            for scheme in Scheme::ALL {
+                let points = outcomes
+                    .iter()
+                    .filter(|(_, s, _)| *s == scheme)
+                    .filter_map(|(theta, _, o)| {
+                        let s = if pick == 0 {
+                            &o.throughput
+                        } else {
+                            &o.delay_ms
+                        };
+                        Some(PlotPoint::with_range(*theta, s.mean()?, s.min()?, s.max()?))
+                    })
+                    .collect();
+                chart.series(scheme.to_string(), points);
+            }
+            let path = format!("{out}/{fig}_n{n}.svg");
+            chart.save(&path).expect("write svg");
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Runs the full Figs. 6/7 simulation grid ONCE and prints all four
+//! metric reports (throughput, delay, collision ratio, fairness) from the
+//! same runs. This is the economical way to regenerate E3-E6 together.
+//!
+//! Usage: same flags as `fig6` (`--quick`, `--topologies`, `--measure-ms`,
+//! `--n`, `--theta`, `--threads`, `--seed`).
+
+use dirca_experiments::cli::Flags;
+use dirca_experiments::report::{combined_report, GridScale};
+
+fn main() {
+    let scale = GridScale::from_flags(&Flags::from_env());
+    eprintln!(
+        "running grid: {} densities x {} beamwidths x 3 schemes x {} topologies ({} ms measure, {} threads)",
+        scale.densities.len(),
+        scale.beamwidths.len(),
+        scale.topologies,
+        scale.measure.as_nanos() / 1_000_000,
+        scale.threads
+    );
+    println!("{}", combined_report(&scale));
+}

@@ -1,0 +1,6 @@
+//! E2 — prints Table 1 (the IEEE 802.11 DSSS configuration) plus the
+//! derived airtimes the simulator uses.
+
+fn main() {
+    println!("{}", dirca_experiments::table1::render());
+}

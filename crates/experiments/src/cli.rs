@@ -1,0 +1,147 @@
+//! Minimal flag parsing shared by the experiment binaries.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags: `--key value` pairs and bare `--switch`es.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `args` (excluding the program name). A token starting with
+    /// `--` followed by a token not starting with `--` is a key/value pair;
+    /// otherwise it is a switch.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dirca_experiments::cli::Flags;
+    ///
+    /// let f = Flags::parse(["--topologies", "10", "--quick"].iter().map(|s| s.to_string()));
+    /// assert_eq!(f.get_usize("topologies", 50), 10);
+    /// assert!(f.has("quick"));
+    /// assert!(!f.has("verbose"));
+    /// ```
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let tokens: Vec<String> = args.collect();
+        let mut flags = Flags::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if let Some(name) = tok.strip_prefix("--") {
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    flags.values.insert(name.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                    continue;
+                }
+                flags.switches.push(name.to_string());
+            }
+            i += 1;
+        }
+        flags
+    }
+
+    /// Parses the process's own arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Whether the bare switch `name` was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// The raw value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// `--name` parsed as `usize`, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message if the value does not parse.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        match self.get(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// `--name` parsed as `u64`, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message if the value does not parse.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        match self.get(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// `--name` parsed as `f64`, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message if the value does not parse.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        match self.get(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let f = flags(&["--a", "1", "--quick", "--b", "2.5"]);
+        assert_eq!(f.get_usize("a", 0), 1);
+        assert!((f.get_f64("b", 0.0) - 2.5).abs() < 1e-12);
+        assert!(f.has("quick"));
+    }
+
+    #[test]
+    fn defaults_apply_when_missing() {
+        let f = flags(&[]);
+        assert_eq!(f.get_usize("n", 7), 7);
+        assert_eq!(f.get_u64("seed", 9), 9);
+        assert!((f.get_f64("x", 1.5) - 1.5).abs() < 1e-12);
+        assert_eq!(f.get("missing"), None);
+    }
+
+    #[test]
+    fn adjacent_switches_both_register() {
+        let f = flags(&["--quick", "--verbose"]);
+        assert!(f.has("quick") && f.has("verbose"));
+    }
+
+    #[test]
+    fn trailing_flag_is_switch() {
+        let f = flags(&["--seed", "3", "--fast"]);
+        assert_eq!(f.get_u64("seed", 0), 3);
+        assert!(f.has("fast"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        flags(&["--n", "xyz"]).get_usize("n", 0);
+    }
+}

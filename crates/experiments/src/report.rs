@@ -1,0 +1,267 @@
+//! Shared reporting over the Figs. 6/7 simulation grid.
+
+use dirca_mac::Scheme;
+use dirca_sim::SimDuration;
+use dirca_stats::Summary;
+
+use crate::cli::Flags;
+use crate::ringsim::{run_cell, RingExperiment, RingOutcome};
+use crate::table::{mean_range, Table};
+
+/// Which per-cell metric a report renders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Fig. 6: normalized aggregate throughput of the inner nodes.
+    Throughput,
+    /// Fig. 7: mean MAC service delay in milliseconds.
+    DelayMs,
+    /// §4: collision ratio.
+    CollisionRatio,
+    /// §4: Jain fairness index.
+    Jain,
+}
+
+impl Metric {
+    fn pick(self, outcome: &RingOutcome) -> &Summary {
+        match self {
+            Metric::Throughput => &outcome.throughput,
+            Metric::DelayMs => &outcome.delay_ms,
+            Metric::CollisionRatio => &outcome.collision_ratio,
+            Metric::Jain => &outcome.jain,
+        }
+    }
+
+    fn decimals(self) -> usize {
+        match self {
+            Metric::Throughput | Metric::CollisionRatio | Metric::Jain => 3,
+            Metric::DelayMs => 1,
+        }
+    }
+}
+
+/// Scale parameters for a grid run, derived from command-line flags.
+#[derive(Debug, Clone)]
+pub struct GridScale {
+    /// Topologies per cell.
+    pub topologies: usize,
+    /// Measurement window per topology.
+    pub measure: SimDuration,
+    /// Warm-up window per topology.
+    pub warmup: SimDuration,
+    /// Worker threads.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Densities to sweep.
+    pub densities: Vec<usize>,
+    /// Beamwidths (degrees) to sweep.
+    pub beamwidths: Vec<f64>,
+}
+
+impl GridScale {
+    /// Builds the scale from flags: `--quick` shrinks everything;
+    /// `--topologies`, `--measure-ms`, `--threads`, `--seed`, `--n`
+    /// override individual knobs.
+    pub fn from_flags(flags: &Flags) -> Self {
+        let quick = flags.has("quick");
+        let topologies = flags.get_usize("topologies", if quick { 4 } else { 50 });
+        let measure_ms = flags.get_u64("measure-ms", if quick { 1_000 } else { 10_000 });
+        let warmup_ms = flags.get_u64("warmup-ms", if quick { 100 } else { 500 });
+        let threads = flags.get_usize(
+            "threads",
+            std::thread::available_parallelism().map_or(4, |n| n.get()),
+        );
+        let densities = match flags.get("n") {
+            Some(v) => vec![v.parse().expect("--n expects an integer")],
+            None => vec![3, 5, 8],
+        };
+        let beamwidths = match flags.get("theta") {
+            Some(v) => vec![v.parse().expect("--theta expects a number")],
+            None => vec![30.0, 90.0, 150.0],
+        };
+        GridScale {
+            topologies,
+            measure: SimDuration::from_millis(measure_ms),
+            warmup: SimDuration::from_millis(warmup_ms),
+            threads,
+            seed: flags.get_u64("seed", 0xD1CA),
+            densities,
+            beamwidths,
+        }
+    }
+
+    /// Instantiates one cell at this scale.
+    pub fn cell(&self, scheme: Scheme, n_avg: usize, theta: f64) -> RingExperiment {
+        RingExperiment {
+            scheme,
+            n_avg,
+            beamwidth_degrees: theta,
+            topologies: self.topologies,
+            seed: self.seed,
+            warmup: self.warmup,
+            measure: self.measure,
+            reception: dirca_radio::ReceptionMode::Omni,
+            mac: dirca_mac::MacConfig::default(),
+        }
+    }
+}
+
+/// Runs the grid and renders `metric` as one table per density, matching
+/// the layout of the paper's Figs. 6/7 panels.
+pub fn grid_report(title: &str, metric: Metric, scale: &GridScale) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push_str("\n\n");
+    for &n in &scale.densities {
+        let mut t = Table::new(vec![
+            format!("N={n}, θ (deg)"),
+            "ORTS-OCTS".into(),
+            "DRTS-DCTS".into(),
+            "DRTS-OCTS".into(),
+        ]);
+        for &theta in &scale.beamwidths {
+            let mut cells = vec![format!("{theta:.0}")];
+            for scheme in Scheme::ALL {
+                let outcome = run_cell(&scale.cell(scheme, n, theta), scale.threads);
+                let s = metric.pick(&outcome);
+                let text = match (s.mean(), s.min(), s.max()) {
+                    (Some(m), Some(lo), Some(hi)) => mean_range(m, lo, hi, metric.decimals()),
+                    _ => "n/a".into(),
+                };
+                cells.push(text);
+            }
+            t.row(cells);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs the grid **once** and renders every metric (Fig. 6 throughput,
+/// Fig. 7 delay, collision ratio, fairness) from the same simulation runs
+/// — four reports for the price of one grid pass.
+pub fn combined_report(scale: &GridScale) -> String {
+    // Run all cells first.
+    let mut outcomes: Vec<(usize, f64, Scheme, RingOutcome)> = Vec::new();
+    for &n in &scale.densities {
+        for &theta in &scale.beamwidths {
+            for scheme in Scheme::ALL {
+                let outcome = run_cell(&scale.cell(scheme, n, theta), scale.threads);
+                outcomes.push((n, theta, scheme, outcome));
+            }
+        }
+    }
+    let mut out = String::new();
+    let sections = [
+        (
+            "Fig. 6 — throughput of the inner N nodes, normalized to the 2 Mbps channel",
+            Metric::Throughput,
+        ),
+        (
+            "Fig. 7 — mean MAC delay (ms) of the inner N nodes",
+            Metric::DelayMs,
+        ),
+        (
+            "Collision ratio — ACK-timeout handshakes / handshakes reaching the data stage",
+            Metric::CollisionRatio,
+        ),
+        ("Jain fairness index over the inner N nodes", Metric::Jain),
+    ];
+    for (title, metric) in sections {
+        out.push_str(title);
+        out.push_str("\n(mean [min, max] over topologies)\n\n");
+        for &n in &scale.densities {
+            let mut t = Table::new(vec![
+                format!("N={n}, θ (deg)"),
+                "ORTS-OCTS".into(),
+                "DRTS-DCTS".into(),
+                "DRTS-OCTS".into(),
+            ]);
+            for &theta in &scale.beamwidths {
+                let mut cells = vec![format!("{theta:.0}")];
+                for scheme in Scheme::ALL {
+                    let outcome = outcomes
+                        .iter()
+                        .find(|(on, ot, os, _)| *on == n && *ot == theta && *os == scheme)
+                        .map(|(_, _, _, o)| o)
+                        .expect("cell was computed");
+                    let s = metric.pick(outcome);
+                    let text = match (s.mean(), s.min(), s.max()) {
+                        (Some(m), Some(lo), Some(hi)) => mean_range(m, lo, hi, metric.decimals()),
+                        _ => "n/a".into(),
+                    };
+                    cells.push(text);
+                }
+                t.row(cells);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> GridScale {
+        GridScale {
+            topologies: 1,
+            measure: SimDuration::from_millis(300),
+            warmup: SimDuration::from_millis(50),
+            threads: 2,
+            seed: 7,
+            densities: vec![3],
+            beamwidths: vec![90.0],
+        }
+    }
+
+    #[test]
+    fn grid_report_renders_all_schemes() {
+        let text = grid_report("test", Metric::Throughput, &tiny_scale());
+        assert!(text.contains("ORTS-OCTS"));
+        assert!(text.contains("N=3"));
+        assert!(text.contains('['), "range formatting missing");
+    }
+
+    #[test]
+    fn scale_from_flags_quick() {
+        let flags = Flags::parse(["--quick".to_string()].into_iter());
+        let scale = GridScale::from_flags(&flags);
+        assert_eq!(scale.topologies, 4);
+        assert_eq!(scale.measure, SimDuration::from_millis(1_000));
+        assert_eq!(scale.densities, vec![3, 5, 8]);
+    }
+
+    #[test]
+    fn scale_from_flags_overrides() {
+        let flags = Flags::parse(
+            [
+                "--topologies",
+                "2",
+                "--n",
+                "5",
+                "--theta",
+                "30",
+                "--seed",
+                "1",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        let scale = GridScale::from_flags(&flags);
+        assert_eq!(scale.topologies, 2);
+        assert_eq!(scale.densities, vec![5]);
+        assert_eq!(scale.beamwidths, vec![30.0]);
+        assert_eq!(scale.seed, 1);
+    }
+
+    #[test]
+    fn metric_decimals_and_pick() {
+        let outcome = RingOutcome::default();
+        assert_eq!(Metric::DelayMs.decimals(), 1);
+        assert_eq!(Metric::Throughput.pick(&outcome).count(), 0);
+    }
+}

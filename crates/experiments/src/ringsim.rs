@@ -1,0 +1,225 @@
+//! The shared ring-topology simulation experiment (E3–E6).
+//!
+//! One *cell* of the paper's Figs. 6/7 is: a scheme, a neighbourhood size
+//! `N`, and a beamwidth θ, evaluated over many random ring topologies. For
+//! each topology we run the full 802.11 simulation and record the
+//! aggregate throughput, mean delay, collision ratio, and Jain fairness of
+//! the innermost `N` nodes; the cell's outcome is the distribution of
+//! those per-topology values (the paper plots mean plus min–max range).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use dirca_mac::{MacConfig, Scheme};
+use dirca_net::{run, SimConfig};
+use dirca_radio::ReceptionMode;
+use dirca_sim::{rng::derive_seed, rng::stream_rng, SimDuration};
+use dirca_stats::{jain_index, Summary};
+use dirca_topology::RingSpec;
+
+/// One experiment cell: `topologies` random ring layouts simulated under a
+/// single protocol configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RingExperiment {
+    /// Collision-avoidance scheme under test.
+    pub scheme: Scheme,
+    /// Average neighbourhood size `N` (3, 5, or 8 in the paper).
+    pub n_avg: usize,
+    /// Beamwidth in degrees (30, 90, or 150 in the paper).
+    pub beamwidth_degrees: f64,
+    /// Number of random topologies (50 in the paper).
+    pub topologies: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Warm-up excluded from measurement.
+    pub warmup: SimDuration,
+    /// Measurement window per topology.
+    pub measure: SimDuration,
+    /// Receive-chain model.
+    pub reception: ReceptionMode,
+    /// MAC behaviour knobs (retry limits, EIFS, NAV handling).
+    pub mac: MacConfig,
+}
+
+impl RingExperiment {
+    /// The paper's configuration for one (scheme, N, θ) cell: 50
+    /// topologies, 0.5 s warm-up, 10 s measurement, omni reception.
+    pub fn paper(scheme: Scheme, n_avg: usize, beamwidth_degrees: f64) -> Self {
+        RingExperiment {
+            scheme,
+            n_avg,
+            beamwidth_degrees,
+            topologies: 50,
+            seed: 0xD1CA,
+            warmup: SimDuration::from_millis(500),
+            measure: SimDuration::from_secs(10),
+            reception: ReceptionMode::Omni,
+            mac: MacConfig::default(),
+        }
+    }
+
+    /// A scaled-down configuration for smoke tests and benches.
+    pub fn quick(scheme: Scheme, n_avg: usize, beamwidth_degrees: f64) -> Self {
+        RingExperiment {
+            topologies: 4,
+            warmup: SimDuration::from_millis(100),
+            measure: SimDuration::from_secs(1),
+            ..Self::paper(scheme, n_avg, beamwidth_degrees)
+        }
+    }
+}
+
+/// Distribution of per-topology metrics for one cell.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RingOutcome {
+    /// Aggregate throughput of the inner `N` nodes, normalized to the
+    /// channel bit rate (so 1.0 = the 2 Mbps channel fully utilized with
+    /// goodput).
+    pub throughput: Summary,
+    /// Mean MAC service delay of delivered packets, in milliseconds.
+    pub delay_ms: Summary,
+    /// Collision ratio (data transmissions losing their ACK / handshakes
+    /// reaching the data stage).
+    pub collision_ratio: Summary,
+    /// Jain fairness index over the inner nodes' throughputs.
+    pub jain: Summary,
+}
+
+/// Runs one cell, spreading topologies over `threads` workers.
+///
+/// Results are deterministic for a given (`experiment`, `threads`-
+/// independent) seed: each topology's generator and simulation derive
+/// their streams from `seed` and the topology index only.
+///
+/// # Panics
+///
+/// Panics if a topology satisfying the paper's degree constraints cannot
+/// be found (see [`dirca_topology::RingSpec::generate`]).
+pub fn run_cell(experiment: &RingExperiment, threads: usize) -> RingOutcome {
+    let threads = threads.max(1);
+    let outcome = Mutex::new(RingOutcome::default());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if t >= experiment.topologies {
+                    break;
+                }
+                let sample = run_one_topology(experiment, t);
+                let mut agg = outcome.lock();
+                agg.throughput.push(sample.throughput);
+                if let Some(d) = sample.delay_ms {
+                    agg.delay_ms.push(d);
+                }
+                if let Some(c) = sample.collision_ratio {
+                    agg.collision_ratio.push(c);
+                }
+                if let Some(j) = sample.jain {
+                    agg.jain.push(j);
+                }
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    outcome.into_inner()
+}
+
+/// Per-topology metric sample.
+#[derive(Debug, Clone, Copy)]
+struct TopologySample {
+    throughput: f64,
+    delay_ms: Option<f64>,
+    collision_ratio: Option<f64>,
+    jain: Option<f64>,
+}
+
+fn run_one_topology(experiment: &RingExperiment, index: usize) -> TopologySample {
+    let spec = RingSpec::paper(experiment.n_avg, 1.0);
+    let mut topo_rng = stream_rng(derive_seed(experiment.seed, 0xA11CE), index as u64);
+    let topology = spec
+        .generate(&mut topo_rng)
+        .expect("degree-constrained topology generation failed");
+    let mut config = SimConfig::new(experiment.scheme)
+        .with_beamwidth_degrees(experiment.beamwidth_degrees)
+        .with_reception(experiment.reception)
+        .with_seed(derive_seed(experiment.seed, 0xB0B + index as u64))
+        .with_warmup(experiment.warmup)
+        .with_measure(experiment.measure);
+    config.mac = experiment.mac.clone();
+    let result = run(&topology, &config);
+    let bit_rate = config.params.bit_rate_bps as f64;
+    TopologySample {
+        throughput: result.aggregate_throughput_bps() / bit_rate,
+        delay_ms: result.mean_delay().map(|d| d.as_secs_f64() * 1e3),
+        collision_ratio: result.collision_ratio(),
+        jain: jain_index(&result.node_throughputs_bps()),
+    }
+}
+
+/// The paper's Figs. 6/7 grid: `N ∈ {3, 5, 8}` × `θ ∈ {30°, 90°, 150°}` ×
+/// the three schemes.
+pub fn paper_grid() -> Vec<(usize, f64, Scheme)> {
+    let mut cells = Vec::new();
+    for &n in &[3usize, 5, 8] {
+        for &theta in &[30.0, 90.0, 150.0] {
+            for scheme in Scheme::ALL {
+                cells.push((n, theta, scheme));
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(scheme: Scheme, n: usize, theta: f64) -> RingExperiment {
+        RingExperiment {
+            topologies: 2,
+            warmup: SimDuration::from_millis(50),
+            measure: SimDuration::from_millis(400),
+            ..RingExperiment::paper(scheme, n, theta)
+        }
+    }
+
+    #[test]
+    fn cell_collects_all_topologies() {
+        let out = run_cell(&tiny(Scheme::OrtsOcts, 3, 90.0), 2);
+        assert_eq!(out.throughput.count(), 2);
+        assert!(out.throughput.mean().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn cell_is_deterministic_across_thread_counts() {
+        let exp = tiny(Scheme::DrtsDcts, 3, 30.0);
+        let a = run_cell(&exp, 1);
+        let b = run_cell(&exp, 4);
+        // Per-topology samples are identical; only their aggregation order
+        // differs, and Summary means of two values are order-insensitive up
+        // to floating-point associativity.
+        assert_eq!(a.throughput.count(), b.throughput.count());
+        assert!((a.throughput.mean().unwrap() - b.throughput.mean().unwrap()).abs() < 1e-12);
+        assert_eq!(a.throughput.min(), b.throughput.min());
+        assert_eq!(a.throughput.max(), b.throughput.max());
+    }
+
+    #[test]
+    fn delay_and_fairness_populate() {
+        let out = run_cell(&tiny(Scheme::OrtsOcts, 3, 90.0), 2);
+        assert!(out.delay_ms.count() > 0, "delay samples missing");
+        assert!(out.jain.count() > 0, "fairness samples missing");
+        let j = out.jain.mean().unwrap();
+        assert!(j > 0.0 && j <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn paper_grid_has_27_cells() {
+        let grid = paper_grid();
+        assert_eq!(grid.len(), 27);
+        assert!(grid
+            .iter()
+            .any(|&(n, t, s)| n == 8 && t == 150.0 && s == Scheme::DrtsOcts));
+    }
+}

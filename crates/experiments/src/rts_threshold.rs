@@ -1,0 +1,153 @@
+//! E12 — extension: when is the RTS/CTS handshake worth it?
+//!
+//! Simulates the ring topology under ORTS-OCTS with the handshake enabled
+//! (every frame RTS-protected) vs disabled (pure basic access), across
+//! data packet sizes — the simulation counterpart of the analytical
+//! [`dirca_analysis::basic`] model. With long frames and hidden terminals
+//! the handshake wins; with short frames its four-packet overhead loses.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use dirca_mac::{MacConfig, Scheme};
+use dirca_net::{run, SimConfig};
+use dirca_sim::{rng::derive_seed, rng::stream_rng, SimDuration};
+use dirca_stats::Summary;
+use dirca_topology::RingSpec;
+
+/// One row of the comparison: a data size, simulated both ways.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThresholdRow {
+    /// Data frame size in bytes.
+    pub data_bytes: u32,
+    /// Normalized throughput with the RTS/CTS handshake.
+    pub with_handshake: Summary,
+    /// Normalized throughput with basic access.
+    pub basic_access: Summary,
+    /// Collision ratio with the handshake.
+    pub handshake_collisions: Summary,
+    /// Collision ratio with basic access (data frames lost).
+    pub basic_collisions: Summary,
+}
+
+/// Configuration of the comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThresholdStudy {
+    /// Ring density `N`.
+    pub n_avg: usize,
+    /// Data sizes to evaluate.
+    pub data_sizes: Vec<u32>,
+    /// Topologies per point.
+    pub topologies: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Measurement window.
+    pub measure: SimDuration,
+}
+
+impl Default for ThresholdStudy {
+    fn default() -> Self {
+        ThresholdStudy {
+            n_avg: 5,
+            data_sizes: vec![100, 250, 500, 1000, 1460],
+            topologies: 8,
+            seed: 0x7157,
+            measure: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// Runs the study, spreading topologies over `threads` workers.
+pub fn run_study(study: &ThresholdStudy, threads: usize) -> Vec<ThresholdRow> {
+    study
+        .data_sizes
+        .iter()
+        .map(|&bytes| {
+            let (with_handshake, handshake_collisions) =
+                run_mode(study, bytes, false, threads.max(1));
+            let (basic_access, basic_collisions) = run_mode(study, bytes, true, threads.max(1));
+            ThresholdRow {
+                data_bytes: bytes,
+                with_handshake,
+                basic_access,
+                handshake_collisions,
+                basic_collisions,
+            }
+        })
+        .collect()
+}
+
+fn run_mode(study: &ThresholdStudy, bytes: u32, basic: bool, threads: usize) -> (Summary, Summary) {
+    let throughput = Mutex::new(Summary::new());
+    let collisions = Mutex::new(Summary::new());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if t >= study.topologies {
+                    break;
+                }
+                let spec = RingSpec::paper(study.n_avg, 1.0);
+                let mut topo_rng = stream_rng(derive_seed(study.seed, 0xA11CE), t as u64);
+                let topology = spec.generate(&mut topo_rng).expect("topology generation");
+                let mut config = SimConfig::new(Scheme::OrtsOcts)
+                    .with_seed(derive_seed(study.seed, 0xB0B + t as u64))
+                    .with_data_bytes(bytes)
+                    .with_warmup(SimDuration::from_millis(200))
+                    .with_measure(study.measure);
+                config.mac = MacConfig {
+                    rts_threshold_bytes: if basic { u32::MAX } else { 0 },
+                    ..MacConfig::default()
+                };
+                let result = run(&topology, &config);
+                throughput
+                    .lock()
+                    .push(result.aggregate_throughput_bps() / 2e6);
+                if let Some(c) = result.collision_ratio() {
+                    collisions.lock().push(c);
+                }
+            });
+        }
+    })
+    .expect("threshold-study worker panicked");
+    (throughput.into_inner(), collisions.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ThresholdStudy {
+        ThresholdStudy {
+            n_avg: 3,
+            data_sizes: vec![100, 1460],
+            topologies: 3,
+            measure: SimDuration::from_secs(1),
+            ..ThresholdStudy::default()
+        }
+    }
+
+    #[test]
+    fn study_produces_one_row_per_size() {
+        let rows = run_study(&tiny(), 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].data_bytes, 100);
+        assert_eq!(rows[0].with_handshake.count(), 3);
+        assert_eq!(rows[0].basic_access.count(), 3);
+    }
+
+    #[test]
+    fn basic_access_loses_more_data_frames() {
+        // Without RTS protection, the long data frames absorb the
+        // collisions the handshake would have taken on cheap RTS frames.
+        let rows = run_study(&tiny(), 2);
+        let long = rows.last().unwrap();
+        let basic = long.basic_collisions.mean().unwrap_or(0.0);
+        let protected = long.handshake_collisions.mean().unwrap_or(0.0);
+        assert!(
+            basic > protected,
+            "basic access should lose more data frames: {basic} vs {protected}"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! E2 — Table 1: the IEEE 802.11 DSSS protocol configuration.
+
+use dirca_mac::Dot11Params;
+
+use crate::table::Table;
+
+/// Renders Table 1 together with the airtimes derived from it (the derived
+/// values are what the simulator actually uses, so printing both makes the
+/// configuration auditable against the paper).
+pub fn render() -> String {
+    let p = Dot11Params::dsss_2mbps();
+    let mut t = Table::new(vec!["parameter".into(), "value".into()]);
+    t.row(vec!["RTS".into(), format!("{} B", p.rts_bytes)]);
+    t.row(vec!["CTS".into(), format!("{} B", p.cts_bytes)]);
+    t.row(vec!["data".into(), format!("{} B", p.data_bytes)]);
+    t.row(vec!["ACK".into(), format!("{} B", p.ack_bytes)]);
+    t.row(vec!["DIFS".into(), format!("{}", p.difs)]);
+    t.row(vec!["SIFS".into(), format!("{}", p.sifs)]);
+    t.row(vec![
+        "contention window".into(),
+        format!("{}–{}", p.cw_min, p.cw_max),
+    ]);
+    t.row(vec!["slot time".into(), format!("{}", p.slot)]);
+    t.row(vec!["sync. time".into(), format!("{}", p.sync)]);
+    t.row(vec![
+        "prop. delay".into(),
+        format!("{}", p.propagation_delay),
+    ]);
+    t.row(vec![
+        "raw bit rate".into(),
+        format!("{} Mbps", p.bit_rate_bps / 1_000_000),
+    ]);
+
+    let mut derived = Table::new(vec!["derived airtime".into(), "value".into()]);
+    derived.row(vec![
+        "RTS on air".into(),
+        format!("{}", p.frame_airtime_bytes(p.rts_bytes)),
+    ]);
+    derived.row(vec![
+        "CTS/ACK on air".into(),
+        format!("{}", p.frame_airtime_bytes(p.cts_bytes)),
+    ]);
+    derived.row(vec![
+        "data on air".into(),
+        format!("{}", p.frame_airtime_bytes(p.data_bytes)),
+    ]);
+    derived.row(vec!["EIFS".into(), format!("{}", p.eifs())]);
+    derived.row(vec![
+        "four-way handshake".into(),
+        format!(
+            "{}",
+            p.frame_airtime_bytes(p.rts_bytes)
+                + p.frame_airtime_bytes(p.cts_bytes)
+                + p.frame_airtime_bytes(p.data_bytes)
+                + p.frame_airtime_bytes(p.ack_bytes)
+                + p.sifs * 3
+                + p.propagation_delay * 4
+        ),
+    ]);
+
+    format!(
+        "Table 1 — IEEE 802.11 protocol configuration parameters\n\n{}\n{}",
+        t.render(),
+        derived.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lists_paper_values() {
+        let text = render();
+        for needle in [
+            "20 B",
+            "14 B",
+            "1460 B",
+            "50.000µs",
+            "10.000µs",
+            "31–1023",
+            "20.000µs",
+            "192.000µs",
+            "2 Mbps",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in table1");
+        }
+    }
+
+    #[test]
+    fn derived_airtimes_present() {
+        let text = render();
+        assert!(text.contains("272.000µs"), "RTS airtime");
+        assert!(text.contains("248.000µs"), "CTS airtime");
+        assert!(text.contains("6.032ms"), "data airtime");
+    }
+}

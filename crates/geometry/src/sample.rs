@@ -1,0 +1,196 @@
+//! Uniform random sampling of planar regions.
+//!
+//! These routines back the topology generators: the paper places `N` nodes
+//! uniformly in a disk of radius `R`, `3N` in the ring `[R, 2R]`, and `5N`
+//! in the ring `[2R, 3R]`.
+
+use rand::Rng;
+
+use crate::{Angle, Point};
+
+/// Samples a point uniformly from the disk of radius `radius` centered at
+/// `center`.
+///
+/// Uses the inverse-CDF radius transform `r = R·√u` so density is uniform in
+/// area, not in radius.
+///
+/// # Panics
+///
+/// Panics if `radius` is negative or not finite.
+///
+/// # Example
+///
+/// ```
+/// use dirca_geometry::{sample, Point};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let p = sample::uniform_in_disk(&mut rng, Point::ORIGIN, 2.0);
+/// assert!(Point::ORIGIN.distance(p) <= 2.0);
+/// ```
+pub fn uniform_in_disk<R: Rng + ?Sized>(rng: &mut R, center: Point, radius: f64) -> Point {
+    uniform_in_ring(rng, center, 0.0, radius)
+}
+
+/// Samples a point uniformly from the ring (annulus) with inner radius
+/// `inner` and outer radius `outer` centered at `center`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ inner ≤ outer` and both are finite.
+pub fn uniform_in_ring<R: Rng + ?Sized>(
+    rng: &mut R,
+    center: Point,
+    inner: f64,
+    outer: f64,
+) -> Point {
+    assert!(
+        inner.is_finite() && outer.is_finite() && inner >= 0.0 && inner <= outer,
+        "ring radii must satisfy 0 <= inner <= outer, got [{inner}, {outer}]"
+    );
+    let u: f64 = rng.random();
+    let r = (inner * inner + u * (outer * outer - inner * inner)).sqrt();
+    let heading = uniform_angle(rng);
+    center.offset(heading, r)
+}
+
+/// Samples a heading uniformly from `(-π, π]`.
+pub fn uniform_angle<R: Rng + ?Sized>(rng: &mut R) -> Angle {
+    Angle::from_radians(rng.random_range(-std::f64::consts::PI..std::f64::consts::PI))
+}
+
+/// Samples the number of points of a Poisson process with mean `mean`.
+///
+/// Uses Knuth's product-of-uniforms method for small means and a
+/// normal-approximation fallback for large means (> 64), which is ample for
+/// the node counts used in the experiments.
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or not finite.
+pub fn poisson_count<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "Poisson mean must be finite and non-negative, got {mean}"
+    );
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 64.0 {
+        // Normal approximation with continuity correction.
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        return (mean + z * mean.sqrt()).round().max(0.0) as usize;
+    }
+    let limit = (-mean).exp();
+    let mut product: f64 = 1.0;
+    let mut count = 0usize;
+    loop {
+        product *= rng.random::<f64>();
+        if product <= limit {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0x5EED)
+    }
+
+    #[test]
+    fn disk_samples_stay_inside() {
+        let mut rng = rng();
+        for _ in 0..1000 {
+            let p = uniform_in_disk(&mut rng, Point::new(1.0, -1.0), 3.0);
+            assert!(Point::new(1.0, -1.0).distance(p) <= 3.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ring_samples_stay_inside_annulus() {
+        let mut rng = rng();
+        for _ in 0..1000 {
+            let p = uniform_in_ring(&mut rng, Point::ORIGIN, 1.0, 2.0);
+            let d = Point::ORIGIN.distance(p);
+            assert!((1.0..=2.0 + 1e-12).contains(&d), "d={d}");
+        }
+    }
+
+    #[test]
+    fn disk_sampling_is_area_uniform() {
+        // Half of the disk's area lies within r <= R/√2; check the fraction.
+        let mut rng = rng();
+        let n = 20_000;
+        let inside = (0..n)
+            .filter(|_| {
+                let p = uniform_in_disk(&mut rng, Point::ORIGIN, 1.0);
+                Point::ORIGIN.distance(p) <= std::f64::consts::FRAC_1_SQRT_2
+            })
+            .count();
+        let frac = inside as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "fraction {frac} far from 0.5");
+    }
+
+    #[test]
+    fn angles_cover_all_quadrants() {
+        let mut rng = rng();
+        let mut quadrants = [false; 4];
+        for _ in 0..1000 {
+            let a = uniform_angle(&mut rng).radians();
+            let q = if a >= 0.0 {
+                if a < std::f64::consts::FRAC_PI_2 {
+                    0
+                } else {
+                    1
+                }
+            } else if a >= -std::f64::consts::FRAC_PI_2 {
+                3
+            } else {
+                2
+            };
+            quadrants[q] = true;
+        }
+        assert!(quadrants.iter().all(|&b| b), "quadrants hit: {quadrants:?}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = rng();
+        assert_eq!(poisson_count(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_small_mean_statistics() {
+        let mut rng = rng();
+        let mean = 5.0;
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| poisson_count(&mut rng, mean)).sum();
+        let observed = total as f64 / n as f64;
+        assert!((observed - mean).abs() < 0.1, "observed mean {observed}");
+    }
+
+    #[test]
+    fn poisson_large_mean_statistics() {
+        let mut rng = rng();
+        let mean = 100.0;
+        let n = 5_000;
+        let total: usize = (0..n).map(|_| poisson_count(&mut rng, mean)).sum();
+        let observed = total as f64 / n as f64;
+        assert!((observed - mean).abs() < 1.0, "observed mean {observed}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ring radii")]
+    fn ring_rejects_inverted_radii() {
+        let mut rng = rng();
+        let _ = uniform_in_ring(&mut rng, Point::ORIGIN, 2.0, 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Binary exponential backoff with freeze/resume at slot granularity.
+
+use serde::{Deserialize, Serialize};
+
+/// The DCF binary exponential backoff engine.
+///
+/// Tracks the contention window (doubling from `cw_min + 1` up to
+/// `cw_max + 1` minus one on each failure, per IEEE 802.11) and the frozen
+/// residual slot count between medium-busy periods.
+///
+/// The caller supplies randomness through a closure so the engine stays
+/// deterministic and testable.
+///
+/// # Example
+///
+/// ```
+/// use dirca_mac::Backoff;
+///
+/// let mut b = Backoff::new(31, 1023);
+/// assert_eq!(b.cw(), 31);
+/// b.on_failure();
+/// assert_eq!(b.cw(), 63);
+/// b.on_success();
+/// assert_eq!(b.cw(), 31);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Backoff {
+    cw_min: u32,
+    cw_max: u32,
+    cw: u32,
+    /// Slots still to count down; `None` until drawn.
+    remaining: Option<u32>,
+}
+
+impl Backoff {
+    /// Creates a backoff engine with the given window bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < cw_min <= cw_max`.
+    pub fn new(cw_min: u32, cw_max: u32) -> Self {
+        assert!(
+            cw_min > 0 && cw_min <= cw_max,
+            "require 0 < cw_min <= cw_max, got [{cw_min}, {cw_max}]"
+        );
+        Backoff {
+            cw_min,
+            cw_max,
+            cw: cw_min,
+            remaining: None,
+        }
+    }
+
+    /// The current contention window (backoff slots are drawn uniformly
+    /// from `[0, cw]`).
+    pub fn cw(&self) -> u32 {
+        self.cw
+    }
+
+    /// Residual slots to count down, if a draw is outstanding.
+    pub fn remaining(&self) -> Option<u32> {
+        self.remaining
+    }
+
+    /// Ensures a slot count is drawn, using `draw(cw)` to sample uniformly
+    /// from `[0, cw]`, and returns the residual count.
+    pub fn ensure_drawn(&mut self, draw: impl FnOnce(u32) -> u32) -> u32 {
+        match self.remaining {
+            Some(r) => r,
+            None => {
+                let r = draw(self.cw);
+                debug_assert!(r <= self.cw, "draw returned {r} > cw {}", self.cw);
+                self.remaining = Some(r);
+                r
+            }
+        }
+    }
+
+    /// Consumes `slots` counted down while the medium was idle.
+    pub fn consume(&mut self, slots: u32) {
+        if let Some(r) = &mut self.remaining {
+            *r = r.saturating_sub(slots);
+        }
+    }
+
+    /// The countdown completed: clears the residual (the window is left
+    /// untouched — success/failure adjust it separately).
+    pub fn complete(&mut self) {
+        self.remaining = None;
+    }
+
+    /// A transmission failed: double the window (capped) and force a fresh
+    /// draw.
+    pub fn on_failure(&mut self) {
+        self.cw = ((self.cw + 1) * 2 - 1).min(self.cw_max);
+        self.remaining = None;
+    }
+
+    /// A transmission succeeded (or the packet was dropped): reset the
+    /// window and force a fresh draw.
+    pub fn on_success(&mut self) {
+        self.cw = self.cw_min;
+        self.remaining = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_doubles_and_caps() {
+        let mut b = Backoff::new(31, 1023);
+        let expected = [63, 127, 255, 511, 1023, 1023];
+        for &e in &expected {
+            b.on_failure();
+            assert_eq!(b.cw(), e);
+        }
+    }
+
+    #[test]
+    fn success_resets_window() {
+        let mut b = Backoff::new(31, 1023);
+        b.on_failure();
+        b.on_failure();
+        b.on_success();
+        assert_eq!(b.cw(), 31);
+    }
+
+    #[test]
+    fn draw_happens_once_until_completed() {
+        let mut b = Backoff::new(31, 1023);
+        let mut draws = 0;
+        let r1 = b.ensure_drawn(|cw| {
+            draws += 1;
+            cw / 2
+        });
+        let r2 = b.ensure_drawn(|_| {
+            draws += 1;
+            0
+        });
+        assert_eq!(r1, r2);
+        assert_eq!(draws, 1);
+        b.complete();
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    fn consume_decrements_and_saturates() {
+        let mut b = Backoff::new(31, 1023);
+        b.ensure_drawn(|_| 10);
+        b.consume(4);
+        assert_eq!(b.remaining(), Some(6));
+        b.consume(100);
+        assert_eq!(b.remaining(), Some(0));
+    }
+
+    #[test]
+    fn failure_forces_redraw() {
+        let mut b = Backoff::new(31, 1023);
+        b.ensure_drawn(|_| 5);
+        b.on_failure();
+        assert_eq!(b.remaining(), None);
+        let r = b.ensure_drawn(|cw| cw);
+        assert_eq!(r, 63);
+    }
+
+    #[test]
+    fn consume_without_draw_is_noop() {
+        let mut b = Backoff::new(31, 1023);
+        b.consume(5);
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cw_min <= cw_max")]
+    fn rejects_inverted_bounds() {
+        let _ = Backoff::new(100, 50);
+    }
+}

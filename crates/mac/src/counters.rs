@@ -1,0 +1,193 @@
+//! Per-node MAC statistics.
+
+use serde::{Deserialize, Serialize};
+
+use dirca_sim::SimDuration;
+
+/// Event counters and delay accumulators for one node's MAC.
+///
+/// These feed the paper's three metrics:
+///
+/// * **throughput** — `data_delivered_bytes` over the measurement window,
+/// * **delay** — `service_delay_total / packets_acked` (head-of-queue to
+///   ACK),
+/// * **collision ratio** — `ack_timeouts / (ack_timeouts + packets_acked)`,
+///   the fraction of RTS-CTS-DATA handshakes whose data frame collided
+///   (§4 of the paper).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MacCounters {
+    /// RTS frames transmitted.
+    pub rts_tx: u64,
+    /// CTS frames transmitted.
+    pub cts_tx: u64,
+    /// DATA frames transmitted.
+    pub data_tx: u64,
+    /// ACK frames transmitted.
+    pub ack_tx: u64,
+    /// CTS timeouts (RTS got no answer).
+    pub cts_timeouts: u64,
+    /// ACK timeouts (DATA frame presumed collided).
+    pub ack_timeouts: u64,
+    /// DATA timeouts on the receiver side (CTS sent, data never arrived).
+    pub data_timeouts: u64,
+    /// Packets acknowledged end-to-end (sender side).
+    pub packets_acked: u64,
+    /// Packets dropped after exhausting retries.
+    pub packets_dropped: u64,
+    /// Bytes of DATA payload acknowledged (sender side).
+    pub data_acked_bytes: u64,
+    /// Duplicate DATA frames suppressed by receive dedup (the frame was
+    /// ACKed again but not re-delivered).
+    pub duplicates_dropped: u64,
+    /// DATA frames delivered to the upper layer (receiver side).
+    pub data_delivered: u64,
+    /// Bytes of DATA payload delivered (receiver side).
+    pub data_delivered_bytes: u64,
+    /// Total head-of-queue-to-ACK service time over all acked packets.
+    pub service_delay_total: SimDuration,
+    /// Total creation-to-ACK (queueing + service) time over all acked
+    /// packets — the end-to-end delay under unsaturated traffic.
+    pub e2e_delay_total: SimDuration,
+}
+
+impl MacCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collision ratio of §4: among handshakes that progressed to a
+    /// data transmission, the fraction whose data frame was never
+    /// acknowledged. `None` if no handshake progressed that far.
+    pub fn collision_ratio(&self) -> Option<f64> {
+        let denom = self.ack_timeouts + self.packets_acked;
+        if denom == 0 {
+            None
+        } else {
+            Some(self.ack_timeouts as f64 / denom as f64)
+        }
+    }
+
+    /// Mean MAC service delay (head-of-queue to ACK) per acked packet.
+    /// `None` if nothing was acked.
+    pub fn mean_service_delay(&self) -> Option<SimDuration> {
+        if self.packets_acked == 0 {
+            None
+        } else {
+            Some(self.service_delay_total / self.packets_acked)
+        }
+    }
+
+    /// Mean end-to-end delay (packet creation to ACK) per acked packet.
+    /// `None` if nothing was acked.
+    pub fn mean_e2e_delay(&self) -> Option<SimDuration> {
+        if self.packets_acked == 0 {
+            None
+        } else {
+            Some(self.e2e_delay_total / self.packets_acked)
+        }
+    }
+
+    /// Fraction of transmitted RTS frames that received a CTS. `None` if no
+    /// RTS was sent.
+    pub fn rts_success_ratio(&self) -> Option<f64> {
+        if self.rts_tx == 0 {
+            None
+        } else {
+            Some(self.data_tx as f64 / self.rts_tx as f64)
+        }
+    }
+
+    /// Accumulates `other` into `self` (for network-wide aggregates).
+    pub fn merge(&mut self, other: &MacCounters) {
+        self.rts_tx += other.rts_tx;
+        self.cts_tx += other.cts_tx;
+        self.data_tx += other.data_tx;
+        self.ack_tx += other.ack_tx;
+        self.cts_timeouts += other.cts_timeouts;
+        self.ack_timeouts += other.ack_timeouts;
+        self.data_timeouts += other.data_timeouts;
+        self.packets_acked += other.packets_acked;
+        self.packets_dropped += other.packets_dropped;
+        self.data_acked_bytes += other.data_acked_bytes;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.data_delivered += other.data_delivered;
+        self.data_delivered_bytes += other.data_delivered_bytes;
+        self.service_delay_total += other.service_delay_total;
+        self.e2e_delay_total += other.e2e_delay_total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_counters_have_no_ratios() {
+        let c = MacCounters::new();
+        assert_eq!(c.collision_ratio(), None);
+        assert_eq!(c.mean_service_delay(), None);
+        assert_eq!(c.rts_success_ratio(), None);
+    }
+
+    #[test]
+    fn collision_ratio_counts_data_losses() {
+        let c = MacCounters {
+            ack_timeouts: 1,
+            packets_acked: 3,
+            ..MacCounters::new()
+        };
+        assert_eq!(c.collision_ratio(), Some(0.25));
+    }
+
+    #[test]
+    fn mean_delay_divides_by_acked() {
+        let c = MacCounters {
+            packets_acked: 4,
+            service_delay_total: SimDuration::from_micros(100),
+            ..MacCounters::new()
+        };
+        assert_eq!(c.mean_service_delay(), Some(SimDuration::from_micros(25)));
+    }
+
+    #[test]
+    fn e2e_delay_divides_by_acked() {
+        let c = MacCounters {
+            packets_acked: 2,
+            e2e_delay_total: SimDuration::from_micros(100),
+            ..MacCounters::new()
+        };
+        assert_eq!(c.mean_e2e_delay(), Some(SimDuration::from_micros(50)));
+        assert_eq!(MacCounters::new().mean_e2e_delay(), None);
+    }
+
+    #[test]
+    fn rts_success_ratio() {
+        let c = MacCounters {
+            rts_tx: 10,
+            data_tx: 7,
+            ..MacCounters::new()
+        };
+        assert_eq!(c.rts_success_ratio(), Some(0.7));
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = MacCounters {
+            rts_tx: 1,
+            packets_acked: 2,
+            service_delay_total: SimDuration::from_micros(10),
+            ..MacCounters::new()
+        };
+        let b = MacCounters {
+            rts_tx: 3,
+            packets_acked: 5,
+            service_delay_total: SimDuration::from_micros(20),
+            ..MacCounters::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.rts_tx, 4);
+        assert_eq!(a.packets_acked, 7);
+        assert_eq!(a.service_delay_total, SimDuration::from_micros(30));
+    }
+}

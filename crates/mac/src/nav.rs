@@ -1,0 +1,109 @@
+//! The network allocation vector (virtual carrier sense).
+
+use serde::{Deserialize, Serialize};
+
+use dirca_sim::{SimDuration, SimTime};
+
+/// Virtual carrier sense: the latest instant up to which overheard frames
+/// have reserved the medium.
+///
+/// # Example
+///
+/// ```
+/// use dirca_mac::Nav;
+/// use dirca_sim::{SimDuration, SimTime};
+///
+/// let mut nav = Nav::new();
+/// let t0 = SimTime::from_micros(100);
+/// nav.reserve(t0, SimDuration::from_micros(50));
+/// assert!(nav.is_busy(SimTime::from_micros(120)));
+/// assert!(!nav.is_busy(SimTime::from_micros(150)));
+/// ```
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Nav {
+    until: SimTime,
+}
+
+impl Nav {
+    /// Creates a cleared NAV.
+    pub fn new() -> Self {
+        Nav::default()
+    }
+
+    /// Extends the reservation to `now + duration` if that is later than
+    /// the current reservation. Returns `true` if the NAV end moved.
+    pub fn reserve(&mut self, now: SimTime, duration: SimDuration) -> bool {
+        let end = now + duration;
+        if end > self.until {
+            self.until = end;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the medium is virtually reserved at `now`.
+    ///
+    /// The reservation interval is half-open: at exactly `until` the medium
+    /// is free again.
+    pub fn is_busy(&self, now: SimTime) -> bool {
+        now < self.until
+    }
+
+    /// The instant the reservation expires.
+    pub fn until(&self) -> SimTime {
+        self.until
+    }
+
+    /// Clears the reservation.
+    pub fn clear(&mut self) {
+        self.until = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_nav_is_idle() {
+        let nav = Nav::new();
+        assert!(!nav.is_busy(SimTime::ZERO));
+        assert!(!nav.is_busy(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn reserve_extends_only_forward() {
+        let mut nav = Nav::new();
+        assert!(nav.reserve(SimTime::from_micros(0), SimDuration::from_micros(100)));
+        // A shorter overlapping reservation does not shrink the NAV.
+        assert!(!nav.reserve(SimTime::from_micros(10), SimDuration::from_micros(20)));
+        assert_eq!(nav.until(), SimTime::from_micros(100));
+        // A longer one extends it.
+        assert!(nav.reserve(SimTime::from_micros(50), SimDuration::from_micros(100)));
+        assert_eq!(nav.until(), SimTime::from_micros(150));
+    }
+
+    #[test]
+    fn boundary_is_half_open() {
+        let mut nav = Nav::new();
+        nav.reserve(SimTime::ZERO, SimDuration::from_micros(10));
+        assert!(nav.is_busy(SimTime::from_nanos(9_999)));
+        assert!(!nav.is_busy(SimTime::from_micros(10)));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut nav = Nav::new();
+        nav.reserve(SimTime::ZERO, SimDuration::from_secs(1));
+        nav.clear();
+        assert!(!nav.is_busy(SimTime::from_micros(1)));
+    }
+
+    #[test]
+    fn zero_duration_reservation_is_noop_for_busy() {
+        let mut nav = Nav::new();
+        nav.reserve(SimTime::from_micros(5), SimDuration::ZERO);
+        assert!(!nav.is_busy(SimTime::from_micros(5)));
+    }
+}

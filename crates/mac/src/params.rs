@@ -1,0 +1,240 @@
+//! Protocol configuration parameters (Table 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use dirca_sim::SimDuration;
+
+use crate::{Frame, FrameKind};
+
+/// IEEE 802.11 MAC/PHY timing and size parameters.
+///
+/// [`Dot11Params::dsss_2mbps`] reproduces Table 1 of the paper exactly: the
+/// DSSS PHY at 2 Mbps with 20-byte RTS, 14-byte CTS/ACK, 1460-byte data
+/// frames, DIFS 50 µs, SIFS 10 µs, slot 20 µs, synchronization (PLCP
+/// preamble + header) 192 µs, propagation delay 1 µs, and contention window
+/// 31–1023.
+///
+/// # Example
+///
+/// ```
+/// use dirca_mac::Dot11Params;
+///
+/// let p = Dot11Params::dsss_2mbps();
+/// // An RTS takes sync (192 µs) + 20 B × 8 / 2 Mbps = 192 + 80 = 272 µs.
+/// assert_eq!(p.frame_airtime_bytes(p.rts_bytes).as_nanos(), 272_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dot11Params {
+    /// Channel bit rate in bits per second.
+    pub bit_rate_bps: u64,
+    /// RTS frame size in bytes.
+    pub rts_bytes: u32,
+    /// CTS frame size in bytes.
+    pub cts_bytes: u32,
+    /// ACK frame size in bytes.
+    pub ack_bytes: u32,
+    /// Default data frame size in bytes (payload + MAC header).
+    pub data_bytes: u32,
+    /// DIFS — DCF interframe space.
+    pub difs: SimDuration,
+    /// SIFS — short interframe space.
+    pub sifs: SimDuration,
+    /// Backoff slot time.
+    pub slot: SimDuration,
+    /// PHY synchronization time (PLCP preamble + header) prepended to every
+    /// frame.
+    pub sync: SimDuration,
+    /// One-way propagation delay.
+    pub propagation_delay: SimDuration,
+    /// Minimum contention window (CW starts here).
+    pub cw_min: u32,
+    /// Maximum contention window (CW is capped here).
+    pub cw_max: u32,
+}
+
+impl Dot11Params {
+    /// The DSSS parameter set of the paper's Table 1 (2 Mbps).
+    pub fn dsss_2mbps() -> Self {
+        Dot11Params {
+            bit_rate_bps: 2_000_000,
+            rts_bytes: 20,
+            cts_bytes: 14,
+            ack_bytes: 14,
+            data_bytes: 1460,
+            difs: SimDuration::from_micros(50),
+            sifs: SimDuration::from_micros(10),
+            slot: SimDuration::from_micros(20),
+            sync: SimDuration::from_micros(192),
+            propagation_delay: SimDuration::from_micros(1),
+            cw_min: 31,
+            cw_max: 1023,
+        }
+    }
+
+    /// Airtime of a frame of `bytes` bytes: sync time plus serialization at
+    /// the channel bit rate.
+    pub fn frame_airtime_bytes(&self, bytes: u32) -> SimDuration {
+        let bits = u64::from(bytes) * 8;
+        // Round up to whole nanoseconds.
+        let ns = (bits * 1_000_000_000).div_ceil(self.bit_rate_bps);
+        self.sync + SimDuration::from_nanos(ns)
+    }
+
+    /// Airtime of `frame`, using its kind and payload size.
+    pub fn frame_airtime(&self, frame: &Frame) -> SimDuration {
+        self.frame_airtime_bytes(self.frame_bytes(frame))
+    }
+
+    /// On-air size in bytes of `frame`.
+    pub fn frame_bytes(&self, frame: &Frame) -> u32 {
+        match frame.kind {
+            FrameKind::Rts => self.rts_bytes,
+            FrameKind::Cts => self.cts_bytes,
+            FrameKind::Ack => self.ack_bytes,
+            FrameKind::Data => frame.payload_bytes.max(1),
+        }
+    }
+
+    /// EIFS — extended interframe space used after a corrupted reception:
+    /// `SIFS + ACK airtime + DIFS` (IEEE 802.11-1999 §9.2.10).
+    pub fn eifs(&self) -> SimDuration {
+        self.sifs + self.frame_airtime_bytes(self.ack_bytes) + self.difs
+    }
+
+    /// How long a sender waits for a CTS after its RTS leaves the air
+    /// before declaring the handshake failed.
+    pub fn cts_timeout(&self) -> SimDuration {
+        self.sifs
+            + self.frame_airtime_bytes(self.cts_bytes)
+            + self.propagation_delay * 2
+            + self.slot
+    }
+
+    /// How long a receiver waits for the DATA frame after its CTS leaves
+    /// the air.
+    pub fn data_timeout_for(&self, data_bytes: u32) -> SimDuration {
+        self.sifs + self.frame_airtime_bytes(data_bytes) + self.propagation_delay * 2 + self.slot
+    }
+
+    /// How long a sender waits for the ACK after its DATA frame leaves the
+    /// air.
+    pub fn ack_timeout(&self) -> SimDuration {
+        self.sifs
+            + self.frame_airtime_bytes(self.ack_bytes)
+            + self.propagation_delay * 2
+            + self.slot
+    }
+
+    /// NAV duration advertised in an RTS: the remainder of the four-way
+    /// handshake after the RTS leaves the air.
+    pub fn rts_nav(&self, data_bytes: u32) -> SimDuration {
+        self.sifs * 3
+            + self.frame_airtime_bytes(self.cts_bytes)
+            + self.frame_airtime_bytes(data_bytes)
+            + self.frame_airtime_bytes(self.ack_bytes)
+            + self.propagation_delay * 4
+    }
+
+    /// NAV duration advertised in a CTS: the remainder after the CTS.
+    pub fn cts_nav(&self, data_bytes: u32) -> SimDuration {
+        self.sifs * 2
+            + self.frame_airtime_bytes(data_bytes)
+            + self.frame_airtime_bytes(self.ack_bytes)
+            + self.propagation_delay * 3
+    }
+
+    /// NAV duration advertised in a DATA frame: the trailing SIFS + ACK.
+    pub fn data_nav(&self) -> SimDuration {
+        self.sifs + self.frame_airtime_bytes(self.ack_bytes) + self.propagation_delay * 2
+    }
+}
+
+impl Default for Dot11Params {
+    fn default() -> Self {
+        Self::dsss_2mbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataPacket;
+    use dirca_radio::NodeId;
+    use dirca_sim::SimTime;
+
+    #[test]
+    fn table1_values() {
+        let p = Dot11Params::dsss_2mbps();
+        assert_eq!(p.bit_rate_bps, 2_000_000);
+        assert_eq!(p.rts_bytes, 20);
+        assert_eq!(p.cts_bytes, 14);
+        assert_eq!(p.ack_bytes, 14);
+        assert_eq!(p.data_bytes, 1460);
+        assert_eq!(p.difs, SimDuration::from_micros(50));
+        assert_eq!(p.sifs, SimDuration::from_micros(10));
+        assert_eq!(p.slot, SimDuration::from_micros(20));
+        assert_eq!(p.sync, SimDuration::from_micros(192));
+        assert_eq!(p.propagation_delay, SimDuration::from_micros(1));
+        assert_eq!((p.cw_min, p.cw_max), (31, 1023));
+    }
+
+    #[test]
+    fn airtimes_match_hand_computation() {
+        let p = Dot11Params::dsss_2mbps();
+        // CTS/ACK: 192 + 14*8/2 = 192 + 56 = 248 µs.
+        assert_eq!(p.frame_airtime_bytes(14), SimDuration::from_micros(248));
+        // DATA: 192 + 1460*8/2 = 192 + 5840 = 6032 µs.
+        assert_eq!(p.frame_airtime_bytes(1460), SimDuration::from_micros(6032));
+    }
+
+    #[test]
+    fn airtime_rounds_up_partial_nanoseconds() {
+        let mut p = Dot11Params::dsss_2mbps();
+        p.bit_rate_bps = 3; // pathological rate: 8 bits take 2666666666.67 ns
+        let t = p.frame_airtime_bytes(1) - p.sync;
+        assert_eq!(t.as_nanos(), 2_666_666_667);
+    }
+
+    #[test]
+    fn frame_airtime_dispatches_on_kind() {
+        let p = Dot11Params::dsss_2mbps();
+        let rts = Frame::rts(NodeId(0), NodeId(1), 1460, &p);
+        assert_eq!(p.frame_airtime(&rts), p.frame_airtime_bytes(20));
+        let pkt = DataPacket::new(7, NodeId(0), NodeId(1), 1460, SimTime::ZERO);
+        let data = Frame::data(pkt, &p);
+        assert_eq!(p.frame_airtime(&data), p.frame_airtime_bytes(1460));
+    }
+
+    #[test]
+    fn eifs_exceeds_difs() {
+        let p = Dot11Params::dsss_2mbps();
+        assert!(p.eifs() > p.difs);
+        assert_eq!(p.eifs(), p.sifs + p.frame_airtime_bytes(14) + p.difs);
+    }
+
+    #[test]
+    fn timeouts_cover_the_awaited_frame() {
+        let p = Dot11Params::dsss_2mbps();
+        // The CTS timeout must cover SIFS + CTS airtime + both propagation legs.
+        assert!(p.cts_timeout() > p.sifs + p.frame_airtime_bytes(p.cts_bytes));
+        assert!(p.ack_timeout() > p.sifs + p.frame_airtime_bytes(p.ack_bytes));
+        assert!(p.data_timeout_for(1460) > p.sifs + p.frame_airtime_bytes(1460));
+    }
+
+    #[test]
+    fn nav_chain_is_consistent() {
+        // rts_nav == cts airtime + sifs + prop + cts_nav
+        let p = Dot11Params::dsss_2mbps();
+        let via_cts =
+            p.frame_airtime_bytes(p.cts_bytes) + p.sifs + p.propagation_delay + p.cts_nav(1460);
+        assert_eq!(p.rts_nav(1460), via_cts);
+        // cts_nav == data airtime + sifs + prop + data_nav
+        let via_data = p.frame_airtime_bytes(1460) + p.sifs + p.propagation_delay + p.data_nav();
+        assert_eq!(p.cts_nav(1460), via_data);
+    }
+
+    #[test]
+    fn default_is_dsss() {
+        assert_eq!(Dot11Params::default(), Dot11Params::dsss_2mbps());
+    }
+}

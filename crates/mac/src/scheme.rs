@@ -1,0 +1,138 @@
+//! The three collision-avoidance schemes compared in the paper.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::FrameKind;
+
+/// Which frames of the four-way handshake are transmitted directionally.
+///
+/// # Example
+///
+/// ```
+/// use dirca_mac::{FrameKind, Scheme};
+///
+/// assert!(!Scheme::OrtsOcts.is_directional(FrameKind::Rts));
+/// assert!(Scheme::DrtsDcts.is_directional(FrameKind::Cts));
+/// assert!(!Scheme::DrtsOcts.is_directional(FrameKind::Cts));
+/// assert!(Scheme::DrtsOcts.is_directional(FrameKind::Data));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// All transmissions omni-directional (standard IEEE 802.11 DCF).
+    OrtsOcts,
+    /// All transmissions directional: maximal spatial reuse.
+    DrtsDcts,
+    /// Directional RTS/DATA/ACK with omni-directional CTS: conservative
+    /// collision avoidance around the receiver.
+    DrtsOcts,
+}
+
+impl Scheme {
+    /// All three schemes, in the order the paper presents them.
+    pub const ALL: [Scheme; 3] = [Scheme::OrtsOcts, Scheme::DrtsDcts, Scheme::DrtsOcts];
+
+    /// Whether frames of `kind` are beamformed under this scheme.
+    pub fn is_directional(self, kind: FrameKind) -> bool {
+        match self {
+            Scheme::OrtsOcts => false,
+            Scheme::DrtsDcts => true,
+            Scheme::DrtsOcts => kind != FrameKind::Cts,
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Scheme::OrtsOcts => "ORTS-OCTS",
+            Scheme::DrtsDcts => "DRTS-DCTS",
+            Scheme::DrtsOcts => "DRTS-OCTS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when parsing a [`Scheme`] from an unknown string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemeError(String);
+
+impl fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown scheme {:?} (expected orts-octs, drts-dcts, or drts-octs)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseSchemeError {}
+
+impl FromStr for Scheme {
+    type Err = ParseSchemeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "orts-octs" | "ortsocts" | "802.11" | "omni" => Ok(Scheme::OrtsOcts),
+            "drts-dcts" | "drtsdcts" | "directional" => Ok(Scheme::DrtsDcts),
+            "drts-octs" | "drtsocts" | "hybrid" => Ok(Scheme::DrtsOcts),
+            _ => Err(ParseSchemeError(s.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orts_octs_never_directional() {
+        for kind in [
+            FrameKind::Rts,
+            FrameKind::Cts,
+            FrameKind::Data,
+            FrameKind::Ack,
+        ] {
+            assert!(!Scheme::OrtsOcts.is_directional(kind));
+        }
+    }
+
+    #[test]
+    fn drts_dcts_always_directional() {
+        for kind in [
+            FrameKind::Rts,
+            FrameKind::Cts,
+            FrameKind::Data,
+            FrameKind::Ack,
+        ] {
+            assert!(Scheme::DrtsDcts.is_directional(kind));
+        }
+    }
+
+    #[test]
+    fn drts_octs_only_cts_is_omni() {
+        assert!(Scheme::DrtsOcts.is_directional(FrameKind::Rts));
+        assert!(!Scheme::DrtsOcts.is_directional(FrameKind::Cts));
+        assert!(Scheme::DrtsOcts.is_directional(FrameKind::Data));
+        assert!(Scheme::DrtsOcts.is_directional(FrameKind::Ack));
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in Scheme::ALL {
+            let text = s.to_string();
+            assert_eq!(text.parse::<Scheme>().unwrap(), s);
+        }
+        assert_eq!("802.11".parse::<Scheme>().unwrap(), Scheme::OrtsOcts);
+        assert!("nonsense".parse::<Scheme>().is_err());
+    }
+
+    #[test]
+    fn parse_error_displays() {
+        let err = "xyz".parse::<Scheme>().unwrap_err();
+        assert!(format!("{err}").contains("xyz"));
+    }
+}

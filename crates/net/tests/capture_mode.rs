@@ -1,0 +1,59 @@
+//! End-to-end tests of the distance-ratio capture extension.
+
+use dirca_mac::Scheme;
+use dirca_net::{run, SimConfig};
+use dirca_radio::ReceptionMode;
+use dirca_sim::SimDuration;
+use dirca_topology::fixtures;
+
+fn config(reception: ReceptionMode, seed: u64) -> SimConfig {
+    SimConfig::new(Scheme::OrtsOcts)
+        .with_reception(reception)
+        .with_seed(seed)
+        .with_warmup(SimDuration::from_millis(100))
+        .with_measure(SimDuration::from_secs(3))
+}
+
+#[test]
+fn capture_never_hurts_throughput() {
+    // Capture can only rescue frames that collision-on-overlap would have
+    // destroyed, so aggregate throughput must not drop on a contended
+    // topology.
+    let topo = fixtures::hidden_terminal();
+    let plain = run(&topo, &config(ReceptionMode::Omni, 3));
+    let capture = run(&topo, &config(ReceptionMode::Capture { ratio: 1.0 }, 3));
+    assert!(
+        capture.aggregate_throughput_bps() >= 0.95 * plain.aggregate_throughput_bps(),
+        "capture collapsed throughput: {} vs {}",
+        capture.aggregate_throughput_bps(),
+        plain.aggregate_throughput_bps()
+    );
+}
+
+#[test]
+fn aggressive_capture_rescues_hidden_terminal_frames() {
+    // On the A—B—C line, B's receptions from a near sender often survive a
+    // far hidden terminal under ratio-1 capture; the collision ratio must
+    // not exceed the no-capture baseline.
+    let topo = fixtures::line(3, 0.4, 1.0); // A at 0.4 from B, C at 0.8 from B... all in range
+    let plain = run(&topo, &config(ReceptionMode::Omni, 9));
+    let capture = run(&topo, &config(ReceptionMode::Capture { ratio: 1.0 }, 9));
+    let base = plain.collision_ratio().unwrap_or(0.0);
+    let with_capture = capture.collision_ratio().unwrap_or(0.0);
+    assert!(
+        with_capture <= base + 0.05,
+        "capture raised collisions: {with_capture} vs {base}"
+    );
+}
+
+#[test]
+fn strict_capture_ratio_approaches_plain_behavior() {
+    // With an enormous ratio nothing is ever captured: results must match
+    // the omni collision-on-overlap model exactly (same seeds, same
+    // dynamics).
+    let topo = fixtures::hidden_terminal();
+    let plain = run(&topo, &config(ReceptionMode::Omni, 5));
+    let strict = run(&topo, &config(ReceptionMode::Capture { ratio: 1e12 }, 5));
+    assert_eq!(plain.events_processed(), strict.events_processed());
+    assert_eq!(plain.packets_acked(), strict.packets_acked());
+}

@@ -1,0 +1,127 @@
+//! Property tests of the full network stack: random topologies, seeds,
+//! schemes, and beamwidths must never wedge the simulation or violate
+//! frame-conservation invariants.
+
+use dirca_geometry::Point;
+use dirca_mac::Scheme;
+use dirca_net::{run, SimConfig, TrafficModel};
+use dirca_sim::SimDuration;
+use dirca_topology::Topology;
+use proptest::prelude::*;
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::OrtsOcts),
+        Just(Scheme::DrtsDcts),
+        Just(Scheme::DrtsOcts),
+    ]
+}
+
+/// Random connected-ish topologies: up to 8 nodes in a 2×2 box with unit
+/// range (most placements are at least partially connected).
+fn topology_strategy() -> impl Strategy<Value = Topology> {
+    prop::collection::vec((0.0f64..2.0, 0.0f64..2.0), 2..8).prop_map(|points| Topology {
+        measured: points.len(),
+        positions: points.into_iter().map(|(x, y)| Point::new(x, y)).collect(),
+        range: 1.0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_networks_never_violate_conservation(
+        topology in topology_strategy(),
+        scheme in scheme_strategy(),
+        seed in 0u64..1_000,
+        theta in 10.0f64..360.0,
+    ) {
+        let config = SimConfig::new(scheme)
+            .with_beamwidth_degrees(theta)
+            .with_seed(seed)
+            .with_warmup(SimDuration::from_millis(20))
+            .with_measure(SimDuration::from_millis(300));
+        let result = run(&topology, &config);
+
+        let mut rts = 0u64;
+        let mut cts_tx = 0u64;
+        let mut data_tx = 0u64;
+        let mut ack_tx = 0u64;
+        let mut delivered = 0u64;
+        let mut acked = 0u64;
+        for node in &result.nodes {
+            let c = &node.counters;
+            rts += c.rts_tx;
+            cts_tx += c.cts_tx;
+            data_tx += c.data_tx;
+            ack_tx += c.ack_tx;
+            delivered += c.data_delivered;
+            acked += c.packets_acked;
+        }
+        let slack = result.nodes.len() as u64; // warm-up boundary in-flight frames
+        prop_assert!(rts + slack >= data_tx, "DATA {data_tx} > RTS {rts}");
+        prop_assert!(cts_tx + slack >= data_tx, "DATA {data_tx} > CTS {cts_tx}");
+        prop_assert!(ack_tx <= delivered + slack, "ACK {ack_tx} > delivered {delivered}");
+        prop_assert!(acked <= ack_tx + slack, "acked {acked} > ACK {ack_tx}");
+        // Throughput is bounded by physics: every link runs at 2 Mbps and
+        // each node pair can use at most one channel's worth; aggregate
+        // over n nodes cannot exceed n/2 concurrent links... loosely bound
+        // by n × bit-rate to catch unit errors.
+        let bound = 2e6 * result.nodes.len() as f64;
+        prop_assert!(result.aggregate_throughput_bps() <= bound);
+    }
+
+    #[test]
+    fn poisson_traffic_never_violates_accounting(
+        seed in 0u64..300,
+        scheme in scheme_strategy(),
+        rate in 1.0f64..120.0,
+    ) {
+        // Offered arrivals must equal carried + dropped + still-queued,
+        // within boundary slack, for any rate and scheme.
+        let topology = dirca_topology::fixtures::hidden_terminal();
+        let config = SimConfig::new(scheme)
+            .with_seed(seed)
+            .with_traffic(TrafficModel::Poisson { packets_per_sec: rate, max_queue: 8 })
+            .with_warmup(SimDuration::from_millis(20))
+            .with_measure(SimDuration::from_millis(400));
+        let result = run(&topology, &config);
+        for node in &result.nodes {
+            // Per-node sanity: acked + dropped never exceeds what could
+            // have arrived (rate × window × generous factor).
+            let handled = node.counters.packets_acked + node.counters.packets_dropped;
+            let offered_bound = (rate * 0.42 * 10.0).ceil() as u64 + 16;
+            prop_assert!(
+                handled <= offered_bound,
+                "node {} handled {handled} > plausible offered {offered_bound}",
+                node.node
+            );
+        }
+        // Queue drops only appear when the source queue can actually fill.
+        if rate < 5.0 {
+            prop_assert_eq!(result.queue_drops(), 0, "drops at trivial load");
+        }
+    }
+
+    #[test]
+    fn connected_pairs_always_make_progress(
+        seed in 0u64..500,
+        scheme in scheme_strategy(),
+        spacing in 0.05f64..0.95,
+    ) {
+        // Any in-range pair under any scheme/seed must complete handshakes:
+        // a saturated two-node network that delivers nothing in 300 ms of
+        // simulated time is wedged.
+        let topology = dirca_topology::fixtures::pair(spacing, 1.0);
+        let config = SimConfig::new(scheme)
+            .with_seed(seed)
+            .with_warmup(SimDuration::from_millis(20))
+            .with_measure(SimDuration::from_millis(300));
+        let result = run(&topology, &config);
+        prop_assert!(
+            result.packets_acked() > 0,
+            "wedged: no packets acked ({scheme}, seed {seed}, spacing {spacing})"
+        );
+    }
+}

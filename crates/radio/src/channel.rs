@@ -1,0 +1,350 @@
+//! The shared unit-disk channel.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dirca_geometry::{Angle, Beamwidth, Point, Sector};
+use dirca_sim::SimDuration;
+
+use crate::NodeId;
+
+/// The spatial footprint of one transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TxPattern {
+    /// Omni-directional: covers the full disk of radius `R` around the
+    /// transmitter.
+    Omni,
+    /// Directional: covers the sector of beamwidth `beamwidth` aimed at
+    /// `boresight`.
+    Beam {
+        /// Beam center direction.
+        boresight: Angle,
+        /// Beam aperture θ.
+        beamwidth: Beamwidth,
+    },
+}
+
+impl TxPattern {
+    /// A beam aimed from `from` toward `to` with aperture `beamwidth`.
+    pub fn aimed(from: Point, to: Point, beamwidth: Beamwidth) -> TxPattern {
+        TxPattern::Beam {
+            boresight: from.heading_to(to),
+            beamwidth,
+        }
+    }
+
+    /// Whether a transmission from `origin` with this pattern and range
+    /// `range` covers point `p`.
+    pub fn covers(&self, origin: Point, range: f64, p: Point) -> bool {
+        match *self {
+            TxPattern::Omni => {
+                origin.distance_squared(p) <= range * range + dirca_geometry::EPSILON
+            }
+            TxPattern::Beam {
+                boresight,
+                beamwidth,
+            } => Sector::new(origin, boresight, beamwidth, range).contains(p),
+        }
+    }
+}
+
+/// Error returned by [`Channel`] constructors and queries on invalid input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The requested node index is out of range.
+    UnknownNode(NodeId),
+    /// The transmission range was not a positive finite number.
+    InvalidRange,
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            ChannelError::InvalidRange => write!(f, "transmission range must be positive"),
+        }
+    }
+}
+
+impl Error for ChannelError {}
+
+/// The shared single channel: node positions, common range `R`, and the
+/// propagation delay.
+///
+/// `Channel` answers purely spatial questions — who is covered by a given
+/// transmission — and leaves all timing to the caller.
+///
+/// # Example
+///
+/// ```
+/// use dirca_geometry::{Beamwidth, Point};
+/// use dirca_radio::{Channel, NodeId, TxPattern};
+/// use dirca_sim::SimDuration;
+///
+/// let chan = Channel::new(
+///     vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0), Point::new(0.0, 0.7)],
+///     1.0,
+///     SimDuration::from_micros(1),
+/// )?;
+/// // Omni from node 0 reaches both neighbours.
+/// let omni = chan.covered_by(NodeId(0), TxPattern::Omni)?;
+/// assert_eq!(omni, vec![NodeId(1), NodeId(2)]);
+/// // A narrow eastward beam reaches only node 1.
+/// let beam = TxPattern::aimed(chan.position(NodeId(0))?, chan.position(NodeId(1))?,
+///                             Beamwidth::from_degrees(30.0).unwrap());
+/// assert_eq!(chan.covered_by(NodeId(0), beam)?, vec![NodeId(1)]);
+/// # Ok::<(), dirca_radio::ChannelError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Channel {
+    positions: Vec<Point>,
+    range: f64,
+    propagation_delay: SimDuration,
+}
+
+impl Channel {
+    /// Creates a channel over the given node positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidRange`] unless `range` is positive and
+    /// finite.
+    pub fn new(
+        positions: Vec<Point>,
+        range: f64,
+        propagation_delay: SimDuration,
+    ) -> Result<Self, ChannelError> {
+        if !(range.is_finite() && range > 0.0) {
+            return Err(ChannelError::InvalidRange);
+        }
+        Ok(Channel {
+            positions,
+            range,
+            propagation_delay,
+        })
+    }
+
+    /// Number of nodes on the channel.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the channel has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The common transmission/reception range `R`.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// The propagation delay applied to every signal edge.
+    pub fn propagation_delay(&self) -> SimDuration {
+        self.propagation_delay
+    }
+
+    /// Position of node `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::UnknownNode`] for an out-of-range id.
+    pub fn position(&self, id: NodeId) -> Result<Point, ChannelError> {
+        self.positions
+            .get(id.0)
+            .copied()
+            .ok_or(ChannelError::UnknownNode(id))
+    }
+
+    /// Distance between two nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::UnknownNode`] for an out-of-range id.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> Result<f64, ChannelError> {
+        Ok(self.position(a)?.distance(self.position(b)?))
+    }
+
+    /// Heading from node `from` to node `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::UnknownNode`] for an out-of-range id.
+    pub fn heading(&self, from: NodeId, to: NodeId) -> Result<Angle, ChannelError> {
+        Ok(self.position(from)?.heading_to(self.position(to)?))
+    }
+
+    /// All nodes (other than `src`) covered by a transmission from `src`
+    /// with pattern `pattern`, in ascending id order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::UnknownNode`] if `src` is out of range.
+    pub fn covered_by(&self, src: NodeId, pattern: TxPattern) -> Result<Vec<NodeId>, ChannelError> {
+        let origin = self.position(src)?;
+        Ok(self
+            .positions
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| i != src.0 && pattern.covers(origin, self.range, p))
+            .map(|(i, _)| NodeId(i))
+            .collect())
+    }
+
+    /// All nodes within range `R` of `id` (its neighbourhood), in ascending
+    /// id order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::UnknownNode`] if `id` is out of range.
+    pub fn neighbors(&self, id: NodeId) -> Result<Vec<NodeId>, ChannelError> {
+        self.covered_by(id, TxPattern::Omni)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan() -> Channel {
+        Channel::new(
+            vec![
+                Point::new(0.0, 0.0),  // 0
+                Point::new(0.9, 0.0),  // 1: east of 0
+                Point::new(0.0, 0.9),  // 2: north of 0
+                Point::new(2.5, 0.0), // 3: out of range of 0, in range of 1... (1.6 > 1, actually out)
+                Point::new(-0.5, 0.0), // 4: west of 0
+            ],
+            1.0,
+            SimDuration::from_micros(1),
+        )
+        .unwrap()
+    }
+
+    fn beam(deg: f64) -> Beamwidth {
+        Beamwidth::from_degrees(deg).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_range() {
+        assert_eq!(
+            Channel::new(vec![], 0.0, SimDuration::ZERO).unwrap_err(),
+            ChannelError::InvalidRange
+        );
+        assert_eq!(
+            Channel::new(vec![], f64::NAN, SimDuration::ZERO).unwrap_err(),
+            ChannelError::InvalidRange
+        );
+    }
+
+    #[test]
+    fn omni_covers_all_in_range() {
+        let c = chan();
+        assert_eq!(
+            c.covered_by(NodeId(0), TxPattern::Omni).unwrap(),
+            vec![NodeId(1), NodeId(2), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn source_is_never_covered() {
+        let c = chan();
+        for i in 0..c.len() {
+            let covered = c.covered_by(NodeId(i), TxPattern::Omni).unwrap();
+            assert!(!covered.contains(&NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn narrow_beam_selects_by_direction() {
+        let c = chan();
+        let east = TxPattern::Beam {
+            boresight: Angle::ZERO,
+            beamwidth: beam(30.0),
+        };
+        assert_eq!(c.covered_by(NodeId(0), east).unwrap(), vec![NodeId(1)]);
+        let north = TxPattern::Beam {
+            boresight: Angle::from_degrees(90.0),
+            beamwidth: beam(30.0),
+        };
+        assert_eq!(c.covered_by(NodeId(0), north).unwrap(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn aimed_beam_always_covers_in_range_target() {
+        let c = chan();
+        let p0 = c.position(NodeId(0)).unwrap();
+        let p4 = c.position(NodeId(4)).unwrap();
+        let west = TxPattern::aimed(p0, p4, beam(15.0));
+        let covered = c.covered_by(NodeId(0), west).unwrap();
+        assert!(covered.contains(&NodeId(4)));
+        assert!(!covered.contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn beam_never_exceeds_range() {
+        let c = chan();
+        // Node 3 is 2.5 away: even a perfectly aimed beam misses it.
+        let p0 = c.position(NodeId(0)).unwrap();
+        let p3 = c.position(NodeId(3)).unwrap();
+        let aimed = TxPattern::aimed(p0, p3, beam(15.0));
+        assert!(!c.covered_by(NodeId(0), aimed).unwrap().contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn omni_pattern_equals_360_beam() {
+        let c = chan();
+        let full = TxPattern::Beam {
+            boresight: Angle::from_degrees(123.0),
+            beamwidth: Beamwidth::OMNI,
+        };
+        assert_eq!(
+            c.covered_by(NodeId(0), full).unwrap(),
+            c.covered_by(NodeId(0), TxPattern::Omni).unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let c = chan();
+        assert!(matches!(
+            c.position(NodeId(99)),
+            Err(ChannelError::UnknownNode(NodeId(99)))
+        ));
+        assert!(c.covered_by(NodeId(99), TxPattern::Omni).is_err());
+        assert!(c.distance(NodeId(0), NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn distance_and_heading() {
+        let c = chan();
+        assert!((c.distance(NodeId(0), NodeId(1)).unwrap() - 0.9).abs() < 1e-12);
+        assert!((c.heading(NodeId(0), NodeId(2)).unwrap().degrees() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neighbors_is_omni_coverage() {
+        let c = chan();
+        assert_eq!(
+            c.neighbors(NodeId(1)).unwrap(),
+            c.covered_by(NodeId(1), TxPattern::Omni).unwrap()
+        );
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!format!("{}", ChannelError::InvalidRange).is_empty());
+        assert!(!format!("{}", ChannelError::UnknownNode(NodeId(3))).is_empty());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let c = chan();
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+        let empty = Channel::new(vec![], 1.0, SimDuration::ZERO).unwrap();
+        assert!(empty.is_empty());
+    }
+}

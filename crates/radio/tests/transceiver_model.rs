@@ -1,0 +1,155 @@
+//! Model-based property test for the transceiver.
+//!
+//! Generates random signal timelines (arrivals with random start/duration
+//! and headings, interleaved with transmit windows), replays them through
+//! [`Transceiver`], and checks every delivery decision against an
+//! independent oracle computed directly from the timeline:
+//!
+//! under omni reception a frame is delivered iff no other signal and no
+//! own-transmission window overlaps its `[start, end)` interval.
+
+use dirca_geometry::Angle;
+use dirca_radio::{ReceptionMode, SignalId, Transceiver};
+use dirca_sim::SimTime;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Sig {
+    start: u64,
+    end: u64,
+    heading_deg: u16,
+}
+
+fn overlaps(a: (u64, u64), b: (u64, u64)) -> bool {
+    a.0 < b.1 && b.0 < a.1
+}
+
+/// The oracle: delivered iff no other signal overlaps and no tx window
+/// overlaps.
+fn oracle(signals: &[Sig], tx: &[(u64, u64)], i: usize) -> bool {
+    let me = (signals[i].start, signals[i].end);
+    let jammed = signals
+        .iter()
+        .enumerate()
+        .any(|(j, s)| j != i && overlaps(me, (s.start, s.end)));
+    let deaf = tx.iter().any(|&w| overlaps(me, w));
+    !jammed && !deaf
+}
+
+/// Replays the timeline and returns the delivered flags per signal.
+fn replay(signals: &[Sig], tx: &[(u64, u64)]) -> Vec<bool> {
+    #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+    enum Edge {
+        // Order at equal times: ends first, then tx-end, tx-start, starts.
+        // (Signals touching end-to-start do not overlap: half-open.)
+        SigEnd(usize),
+        TxEnd,
+        TxStart,
+        SigStart(usize),
+    }
+    let mut edges: Vec<(u64, Edge)> = Vec::new();
+    for (i, s) in signals.iter().enumerate() {
+        edges.push((s.start, Edge::SigStart(i)));
+        edges.push((s.end, Edge::SigEnd(i)));
+    }
+    for &(a, b) in tx {
+        edges.push((a, Edge::TxStart));
+        edges.push((b, Edge::TxEnd));
+    }
+    edges.sort_by(|x, y| x.0.cmp(&y.0).then_with(|| x.1.cmp(&y.1)));
+
+    let mut rx = Transceiver::new(ReceptionMode::Omni);
+    let mut delivered = vec![false; signals.len()];
+    for (t, edge) in edges {
+        match edge {
+            Edge::SigStart(i) => {
+                rx.signal_arrives(
+                    SignalId(i as u64),
+                    Angle::from_degrees(f64::from(signals[i].heading_deg)),
+                    SimTime::from_nanos(signals[i].end),
+                );
+                let _ = t;
+            }
+            Edge::SigEnd(i) => {
+                delivered[i] = rx.signal_ends(SignalId(i as u64)).delivered;
+            }
+            Edge::TxStart => rx.begin_transmit(),
+            Edge::TxEnd => rx.end_transmit(),
+        }
+    }
+    delivered
+}
+
+/// Strategy: up to 6 signals with random half-open windows in [0, 100).
+fn signals_strategy() -> impl Strategy<Value = Vec<Sig>> {
+    prop::collection::vec(
+        (0u64..90, 1u64..30, 0u16..360).prop_map(|(start, len, heading_deg)| Sig {
+            start,
+            end: start + len,
+            heading_deg,
+        }),
+        1..6,
+    )
+}
+
+/// Strategy: up to 2 non-overlapping tx windows placed after sorting.
+fn tx_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..90, 1u64..15), 0..3).prop_map(|mut raw| {
+        raw.sort_unstable();
+        let mut windows: Vec<(u64, u64)> = Vec::new();
+        for (start, len) in raw {
+            let start = windows.last().map_or(start, |&(_, e)| start.max(e + 1));
+            windows.push((start, start + len));
+        }
+        windows
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn deliveries_match_overlap_oracle(signals in signals_strategy(), tx in tx_strategy()) {
+        let delivered = replay(&signals, &tx);
+        for i in 0..signals.len() {
+            let expect = oracle(&signals, &tx, i);
+            prop_assert_eq!(
+                delivered[i],
+                expect,
+                "signal {} [{}, {}): got {}, oracle {} (signals {:?}, tx {:?})",
+                i, signals[i].start, signals[i].end, delivered[i], expect, &signals, &tx
+            );
+        }
+    }
+
+    #[test]
+    fn transceiver_ends_idle(signals in signals_strategy(), tx in tx_strategy()) {
+        // After every edge is replayed the medium must read idle: no
+        // leaked arrivals, no stuck transmit flag.
+        let mut rx = Transceiver::new(ReceptionMode::Omni);
+        let mut edges: Vec<(u64, i32, usize)> = Vec::new();
+        for (i, s) in signals.iter().enumerate() {
+            edges.push((s.start, 2, i));
+            edges.push((s.end, 0, i));
+        }
+        for (k, &(a, b)) in tx.iter().enumerate() {
+            edges.push((a, 3, k));
+            edges.push((b, 1, k));
+        }
+        edges.sort_unstable();
+        for (_, kind, i) in edges {
+            match kind {
+                2 => {
+                    rx.signal_arrives(SignalId(i as u64), Angle::ZERO, SimTime::ZERO);
+                }
+                0 => {
+                    rx.signal_ends(SignalId(i as u64));
+                }
+                3 => rx.begin_transmit(),
+                1 => rx.end_transmit(),
+                _ => unreachable!(),
+            }
+        }
+        prop_assert!(!rx.carrier_busy(), "transceiver left busy after all edges");
+    }
+}

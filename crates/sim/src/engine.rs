@@ -1,0 +1,267 @@
+//! The event loop.
+
+use crate::{EventQueue, SimDuration, SimTime};
+
+/// A simulated world: the state acted upon by events.
+///
+/// Implementations define an event type and a handler; the handler may
+/// schedule further events through the [`Scheduler`].
+pub trait World {
+    /// The event type processed by this world.
+    type Event;
+
+    /// Handles one event at simulated instant `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Schedules future events; passed to [`World::handle`] and available from
+/// the [`Simulation`] for priming initial events.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` at absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current instant — scheduling into
+    /// the past would silently corrupt causality.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < now {now}",
+            now = self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A discrete-event simulation: a [`World`] plus the event loop state.
+///
+/// See the crate-level example for usage.
+#[derive(Debug)]
+pub struct Simulation<W: World> {
+    world: W,
+    scheduler: Scheduler<W::Event>,
+    processed: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Creates a simulation over `world` with an empty event queue at time
+    /// zero.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            scheduler: Scheduler::new(),
+            processed: 0,
+        }
+    }
+
+    /// Read access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// The scheduler, for priming initial events.
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<W::Event> {
+        &mut self.scheduler
+    }
+
+    /// Simultaneous mutable access to the world and the scheduler, for
+    /// initialization code that must mutate the world while scheduling its
+    /// first events.
+    pub fn world_and_scheduler_mut(&mut self) -> (&mut W, &mut Scheduler<W::Event>) {
+        (&mut self.world, &mut self.scheduler)
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.scheduler.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Consumes the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Runs until the queue empties or the next event would fire after
+    /// `deadline`. Events exactly at `deadline` are processed. Returns the
+    /// number of events processed by this call.
+    ///
+    /// On return the clock reads `deadline` if the run was cut short by it,
+    /// or the time of the last processed event if the queue drained first.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let before = self.processed;
+        while let Some(t) = self.scheduler.queue.peek_time() {
+            if t > deadline {
+                self.scheduler.now = deadline;
+                return self.processed - before;
+            }
+            let (time, event) = self.scheduler.queue.pop().expect("peeked event vanished");
+            debug_assert!(time >= self.scheduler.now, "event queue went backwards");
+            self.scheduler.now = time;
+            self.world.handle(time, event, &mut self.scheduler);
+            self.processed += 1;
+        }
+        if deadline != SimTime::MAX {
+            self.scheduler.now = deadline;
+        }
+        self.processed - before
+    }
+
+    /// Runs until the event queue is empty.
+    ///
+    /// Prefer [`Simulation::run_until`] for worlds that reschedule
+    /// unconditionally (e.g. saturated traffic sources), which never drain.
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Processes at most one event; returns its timestamp, or `None` if the
+    /// queue was empty.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (time, event) = self.scheduler.queue.pop()?;
+        self.scheduler.now = time;
+        self.world.handle(time, event, &mut self.scheduler);
+        self.processed += 1;
+        Some(time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records (time, label) pairs; `Spawn` events fan out two `Leaf` events.
+    struct Recorder {
+        log: Vec<(SimTime, &'static str)>,
+    }
+
+    enum Ev {
+        Spawn,
+        Leaf(&'static str),
+    }
+
+    impl World for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<Ev>) {
+            match event {
+                Ev::Spawn => {
+                    self.log.push((now, "spawn"));
+                    sched.schedule_in(SimDuration::from_nanos(10), Ev::Leaf("a"));
+                    sched.schedule_in(SimDuration::from_nanos(10), Ev::Leaf("b"));
+                }
+                Ev::Leaf(l) => self.log.push((now, l)),
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_order_with_fifo_ties() {
+        let mut sim = Simulation::new(Recorder { log: Vec::new() });
+        sim.scheduler_mut()
+            .schedule_at(SimTime::from_nanos(5), Ev::Spawn);
+        let n = sim.run_to_completion();
+        assert_eq!(n, 3);
+        assert_eq!(
+            sim.world().log,
+            vec![
+                (SimTime::from_nanos(5), "spawn"),
+                (SimTime::from_nanos(15), "a"),
+                (SimTime::from_nanos(15), "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(Recorder { log: Vec::new() });
+        sim.scheduler_mut()
+            .schedule_at(SimTime::from_nanos(5), Ev::Spawn);
+        // Deadline before the leaves fire.
+        let n = sim.run_until(SimTime::from_nanos(10));
+        assert_eq!(n, 1);
+        assert_eq!(sim.now(), SimTime::from_nanos(10));
+        assert_eq!(sim.scheduler_mut().pending(), 2);
+        // Resume to completion.
+        sim.run_until(SimTime::from_nanos(100));
+        assert_eq!(sim.world().log.len(), 3);
+        assert_eq!(sim.now(), SimTime::from_nanos(100));
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn deadline_inclusive() {
+        let mut sim = Simulation::new(Recorder { log: Vec::new() });
+        sim.scheduler_mut()
+            .schedule_at(SimTime::from_nanos(10), Ev::Leaf("edge"));
+        let n = sim.run_until(SimTime::from_nanos(10));
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn step_processes_single_event() {
+        let mut sim = Simulation::new(Recorder { log: Vec::new() });
+        assert_eq!(sim.step(), None);
+        sim.scheduler_mut()
+            .schedule_at(SimTime::from_nanos(7), Ev::Spawn);
+        assert_eq!(sim.step(), Some(SimTime::from_nanos(7)));
+        assert_eq!(sim.world().log.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(Recorder { log: Vec::new() });
+        sim.scheduler_mut()
+            .schedule_at(SimTime::from_nanos(5), Ev::Spawn);
+        sim.run_to_completion();
+        sim.scheduler_mut()
+            .schedule_at(SimTime::from_nanos(1), Ev::Spawn);
+    }
+
+    #[test]
+    fn into_world_returns_state() {
+        let mut sim = Simulation::new(Recorder { log: Vec::new() });
+        sim.scheduler_mut()
+            .schedule_at(SimTime::ZERO, Ev::Leaf("x"));
+        sim.run_to_completion();
+        let w = sim.into_world();
+        assert_eq!(w.log.len(), 1);
+    }
+}

@@ -1,0 +1,316 @@
+//! Integer-nanosecond simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute instant on the simulation clock, in nanoseconds since the
+/// start of the run.
+///
+/// `SimTime` is a newtype over `u64`: a run can last ~584 years of simulated
+/// time before overflow, and arithmetic is exact — no floating-point clock
+/// drift across billions of events.
+///
+/// # Example
+///
+/// ```
+/// use dirca_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_micros(20);
+/// assert_eq!(t.as_nanos(), 20_000);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_micros(20));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from nanoseconds since the start of the run.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant from microseconds since the start of the run.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant from milliseconds since the start of the run.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant from whole seconds since the start of the run.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the start of the run.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The instant expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier instant is in the future"),
+        )
+    }
+
+    /// Saturating version of [`SimTime::duration_since`], returning zero when
+    /// `earlier` is in the future.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// The duration in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The duration in (fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    pub fn checked_sub(self, rhs: SimDuration) -> Option<SimDuration> {
+        self.0.checked_sub(rhs.0).map(SimDuration)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Mul<SimDuration> for u64 {
+    type Output = SimDuration;
+    fn mul(self, rhs: SimDuration) -> SimDuration {
+        rhs * self
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}µs", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_nanos(2_000_000_000)
+        );
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = SimTime::from_micros(100);
+        let d = SimDuration::from_micros(40);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn duration_since_and_saturating() {
+        let early = SimTime::from_nanos(10);
+        let late = SimTime::from_nanos(30);
+        assert_eq!(late.duration_since(early), SimDuration::from_nanos(20));
+        assert_eq!(early.saturating_duration_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier instant is in the future")]
+    fn duration_since_panics_on_negative() {
+        let _ = SimTime::from_nanos(1).duration_since(SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_micros(20);
+        assert_eq!(d * 3, SimDuration::from_micros(60));
+        assert_eq!(3 * d, d * 3);
+        assert_eq!(d / 2, SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn checked_and_saturating_sub() {
+        let a = SimDuration::from_nanos(5);
+        let b = SimDuration::from_nanos(8);
+        assert_eq!(b.checked_sub(a), Some(SimDuration::from_nanos(3)));
+        assert_eq!(a.checked_sub(b), None);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert!((SimTime::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((SimDuration::from_micros(250).as_micros_f64() - 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert!(SimDuration::from_micros(1) < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn display_formats_by_magnitude() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(5)), "5ns");
+        assert!(format!("{}", SimDuration::from_micros(5)).contains("µs"));
+        assert!(format!("{}", SimDuration::from_millis(5)).contains("ms"));
+        assert!(format!("{}", SimDuration::from_secs(5)).contains('s'));
+        assert!(!format!("{}", SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let _ = SimTime::MAX + SimDuration::from_nanos(1);
+    }
+}

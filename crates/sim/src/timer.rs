@@ -1,0 +1,117 @@
+//! Generation-counter timers with O(1) logical cancellation.
+//!
+//! Discrete-event queues cannot cheaply delete scheduled events, so the
+//! standard idiom is to attach a generation number: cancelling (or
+//! re-arming) a timer bumps the generation, and stale firings are discarded
+//! on arrival. [`TimerSlot`] packages that idiom.
+
+use serde::{Deserialize, Serialize};
+
+/// An opaque generation token identifying one arming of a [`TimerSlot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimerGeneration(u64);
+
+/// A logical timer that can be armed, cancelled, and checked against firing
+/// events.
+///
+/// # Example
+///
+/// ```
+/// use dirca_sim::TimerSlot;
+///
+/// let mut timer = TimerSlot::new();
+/// let g1 = timer.arm();          // schedule an event carrying g1
+/// let g2 = timer.arm();          // re-arm: schedule an event carrying g2
+/// assert!(!timer.fires(g1));     // the g1 event is stale when it arrives
+/// assert!(timer.fires(g2));      // the g2 event is live ...
+/// assert!(!timer.fires(g2));     // ... exactly once
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimerSlot {
+    generation: u64,
+    armed: bool,
+}
+
+impl TimerSlot {
+    /// Creates a disarmed timer.
+    pub fn new() -> Self {
+        TimerSlot::default()
+    }
+
+    /// Arms (or re-arms) the timer, invalidating any previously scheduled
+    /// firing, and returns the token to attach to the newly scheduled event.
+    pub fn arm(&mut self) -> TimerGeneration {
+        self.generation += 1;
+        self.armed = true;
+        TimerGeneration(self.generation)
+    }
+
+    /// Cancels the timer: any in-flight firing becomes stale.
+    pub fn cancel(&mut self) {
+        self.armed = false;
+    }
+
+    /// Whether the timer is currently armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Tests whether an arriving event carrying `token` is the live firing
+    /// of this timer. On success the timer disarms (one-shot semantics).
+    pub fn fires(&mut self, token: TimerGeneration) -> bool {
+        if self.armed && token.0 == self.generation {
+            self.armed = false;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_timer_is_disarmed() {
+        let t = TimerSlot::new();
+        assert!(!t.is_armed());
+    }
+
+    #[test]
+    fn fires_once() {
+        let mut t = TimerSlot::new();
+        let g = t.arm();
+        assert!(t.is_armed());
+        assert!(t.fires(g));
+        assert!(!t.is_armed());
+        assert!(!t.fires(g), "a timer must not fire twice");
+    }
+
+    #[test]
+    fn cancel_invalidates_pending_firing() {
+        let mut t = TimerSlot::new();
+        let g = t.arm();
+        t.cancel();
+        assert!(!t.fires(g));
+    }
+
+    #[test]
+    fn rearm_invalidates_previous_generation() {
+        let mut t = TimerSlot::new();
+        let g1 = t.arm();
+        let g2 = t.arm();
+        assert!(!t.fires(g1));
+        assert!(t.fires(g2));
+    }
+
+    #[test]
+    fn stale_token_after_rearm_does_not_disarm() {
+        let mut t = TimerSlot::new();
+        let g1 = t.arm();
+        let g2 = t.arm();
+        assert!(!t.fires(g1), "stale firing ignored");
+        assert!(t.is_armed(), "live arming must survive a stale firing");
+        assert!(t.fires(g2));
+    }
+}

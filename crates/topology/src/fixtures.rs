@@ -1,0 +1,190 @@
+//! Deterministic topology fixtures for tests, examples, and protocol
+//! debugging.
+
+use dirca_geometry::Point;
+
+use crate::Topology;
+
+/// Two nodes `spacing` apart — the minimal link.
+///
+/// # Example
+///
+/// ```
+/// let topo = dirca_topology::fixtures::pair(0.9, 1.0);
+/// assert_eq!(topo.degrees(), vec![1, 1]);
+/// ```
+pub fn pair(spacing: f64, range: f64) -> Topology {
+    Topology {
+        positions: vec![Point::ORIGIN, Point::new(spacing, 0.0)],
+        range,
+        measured: 2,
+    }
+}
+
+/// The classic hidden-terminal triple: `A — B — C` in a line with `A` and
+/// `C` mutually out of range but both in range of `B`.
+///
+/// With unit range the spacing is 0.8, so `A`–`C` are 1.6 apart.
+///
+/// # Example
+///
+/// ```
+/// let topo = dirca_topology::fixtures::hidden_terminal();
+/// // A and C each see only B; B sees both.
+/// assert_eq!(topo.degrees(), vec![1, 2, 1]);
+/// ```
+pub fn hidden_terminal() -> Topology {
+    Topology {
+        positions: vec![Point::new(-0.8, 0.0), Point::ORIGIN, Point::new(0.8, 0.0)],
+        range: 1.0,
+        measured: 3,
+    }
+}
+
+/// Two independent sender–receiver pairs placed far enough apart that an
+/// omni transmission from one pair reaches the other pair's receiver, but a
+/// narrow beam between partners does not: the canonical spatial-reuse
+/// scenario.
+///
+/// Layout (unit range):
+///
+/// ```text
+///   S0 → R0          R1 ← S1
+///   (0,0) (0.9,0)  (1.5,0) (2.4,0)
+/// ```
+///
+/// `R0`–`R1` are 0.6 apart (mutually in range), while `S0`–`S1` are 2.4
+/// apart (out of range).
+pub fn parallel_pairs() -> Topology {
+    Topology {
+        positions: vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.9, 0.0),
+            Point::new(1.5, 0.0),
+            Point::new(2.4, 0.0),
+        ],
+        range: 1.0,
+        measured: 4,
+    }
+}
+
+/// A line of `n` nodes with the given spacing.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn line(n: usize, spacing: f64, range: f64) -> Topology {
+    assert!(n > 0, "line needs at least one node");
+    Topology {
+        positions: (0..n)
+            .map(|i| Point::new(spacing * i as f64, 0.0))
+            .collect(),
+        range,
+        measured: n,
+    }
+}
+
+/// `n` nodes evenly spaced on a circle of radius `circle_radius` — every
+/// node sees every other when `range` is at least the diameter.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ring_of(n: usize, circle_radius: f64, range: f64) -> Topology {
+    assert!(n > 0, "ring needs at least one node");
+    let positions = (0..n)
+        .map(|i| {
+            let a = std::f64::consts::TAU * i as f64 / n as f64;
+            Point::new(circle_radius * a.cos(), circle_radius * a.sin())
+        })
+        .collect();
+    Topology {
+        positions,
+        range,
+        measured: n,
+    }
+}
+
+/// A hub-and-spoke star: node 0 at the center, `n - 1` leaves on a circle
+/// of radius `arm` (leaves see the hub; adjacent leaves may or may not see
+/// each other depending on `range`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize, arm: f64, range: f64) -> Topology {
+    assert!(n > 0, "star needs at least one node");
+    let mut positions = vec![Point::ORIGIN];
+    for i in 0..n.saturating_sub(1) {
+        let a = std::f64::consts::TAU * i as f64 / (n - 1).max(1) as f64;
+        positions.push(Point::new(arm * a.cos(), arm * a.sin()));
+    }
+    Topology {
+        positions,
+        range,
+        measured: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_connectivity() {
+        assert_eq!(pair(0.5, 1.0).degrees(), vec![1, 1]);
+        assert_eq!(pair(1.5, 1.0).degrees(), vec![0, 0]);
+    }
+
+    #[test]
+    fn hidden_terminal_shape() {
+        let t = hidden_terminal();
+        let adj = t.adjacency();
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0, 2]);
+        assert_eq!(adj[2], vec![1]);
+    }
+
+    #[test]
+    fn parallel_pairs_shape() {
+        let t = parallel_pairs();
+        let adj = t.adjacency();
+        // S0 sees R0 only.
+        assert_eq!(adj[0], vec![1]);
+        // R0 sees S0 and R1.
+        assert_eq!(adj[1], vec![0, 2]);
+        // R1 sees R0 and S1.
+        assert_eq!(adj[2], vec![1, 3]);
+        // S1 sees R1 only.
+        assert_eq!(adj[3], vec![2]);
+    }
+
+    #[test]
+    fn line_degrees() {
+        let t = line(5, 1.0, 1.0);
+        assert_eq!(t.degrees(), vec![1, 2, 2, 2, 1]);
+        let dense = line(5, 0.4, 1.0);
+        assert_eq!(dense.degrees(), vec![2, 3, 4, 3, 2]);
+    }
+
+    #[test]
+    fn ring_full_mesh_when_range_exceeds_diameter() {
+        let t = ring_of(6, 1.0, 2.1);
+        assert!(t.degrees().iter().all(|&d| d == 5));
+    }
+
+    #[test]
+    fn star_hub_sees_all_leaves() {
+        let t = star(5, 1.0, 1.0);
+        assert_eq!(t.degrees()[0], 4);
+        for &d in &t.degrees()[1..] {
+            assert!(d >= 1, "leaf must at least see the hub");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_line_panics() {
+        let _ = line(0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Plain-text serialization of topologies.
+//!
+//! A deliberately simple line format so layouts can be shared, diffed, and
+//! edited by hand (no serialization-format dependency needed):
+//!
+//! ```text
+//! # dirca topology v1
+//! range 1.0
+//! measured 5
+//! 0.25 -0.5
+//! 1.0 0.0
+//! …one "x y" line per node…
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use dirca_geometry::Point;
+
+use crate::Topology;
+
+/// Error from parsing the topology text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTopologyError {
+    line: usize,
+    problem: String,
+}
+
+impl fmt::Display for ParseTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "topology parse error at line {}: {}",
+            self.line, self.problem
+        )
+    }
+}
+
+impl Error for ParseTopologyError {}
+
+fn err(line: usize, problem: impl Into<String>) -> ParseTopologyError {
+    ParseTopologyError {
+        line,
+        problem: problem.into(),
+    }
+}
+
+/// Renders a topology in the text format.
+///
+/// # Example
+///
+/// ```
+/// use dirca_topology::{fixtures, io};
+///
+/// let topo = fixtures::hidden_terminal();
+/// let text = io::to_text(&topo);
+/// let back = io::from_text(&text)?;
+/// assert_eq!(topo, back);
+/// # Ok::<(), dirca_topology::io::ParseTopologyError>(())
+/// ```
+pub fn to_text(topology: &Topology) -> String {
+    let mut out = String::from("# dirca topology v1\n");
+    out.push_str(&format!("range {}\n", topology.range));
+    out.push_str(&format!("measured {}\n", topology.measured));
+    for p in &topology.positions {
+        out.push_str(&format!("{} {}\n", p.x, p.y));
+    }
+    out
+}
+
+/// Parses the text format produced by [`to_text`].
+///
+/// Blank lines and `#` comments are ignored; `range` and `measured`
+/// headers may appear in either order but must precede the node lines.
+///
+/// # Errors
+///
+/// Returns [`ParseTopologyError`] on malformed headers, coordinates, or a
+/// `measured` count exceeding the node count.
+pub fn from_text(text: &str) -> Result<Topology, ParseTopologyError> {
+    let mut range: Option<f64> = None;
+    let mut measured: Option<usize> = None;
+    let mut positions = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("range ") {
+            let v = f64::from_str(rest.trim()).map_err(|_| err(line_no, "bad range value"))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(err(line_no, "range must be positive"));
+            }
+            range = Some(v);
+        } else if let Some(rest) = line.strip_prefix("measured ") {
+            measured =
+                Some(usize::from_str(rest.trim()).map_err(|_| err(line_no, "bad measured value"))?);
+        } else {
+            let mut parts = line.split_whitespace();
+            let x = parts
+                .next()
+                .and_then(|t| f64::from_str(t).ok())
+                .ok_or_else(|| err(line_no, "bad x coordinate"))?;
+            let y = parts
+                .next()
+                .and_then(|t| f64::from_str(t).ok())
+                .ok_or_else(|| err(line_no, "bad y coordinate"))?;
+            if parts.next().is_some() {
+                return Err(err(line_no, "trailing tokens after coordinates"));
+            }
+            if !(x.is_finite() && y.is_finite()) {
+                return Err(err(line_no, "coordinates must be finite"));
+            }
+            positions.push(Point::new(x, y));
+        }
+    }
+    let range = range.ok_or_else(|| err(0, "missing 'range' header"))?;
+    let measured = measured.unwrap_or(positions.len());
+    if measured > positions.len() {
+        return Err(err(
+            0,
+            format!("measured {measured} exceeds node count {}", positions.len()),
+        ));
+    }
+    Ok(Topology {
+        positions,
+        range,
+        measured,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let mut topo = fixtures::parallel_pairs();
+        topo.measured = 2;
+        let text = to_text(&topo);
+        let back = from_text(&text).unwrap();
+        assert_eq!(topo, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# hello\n\nrange 2.0\nmeasured 1\n# node below\n0.5 0.5\n";
+        let topo = from_text(text).unwrap();
+        assert_eq!(topo.len(), 1);
+        assert_eq!(topo.range, 2.0);
+        assert_eq!(topo.measured, 1);
+    }
+
+    #[test]
+    fn measured_defaults_to_all() {
+        let topo = from_text("range 1.0\n0 0\n1 1\n").unwrap();
+        assert_eq!(topo.measured, 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = from_text("range 1.0\n0 zzz\n").unwrap_err();
+        assert!(format!("{e}").contains("line 2"));
+        let e = from_text("range -1\n").unwrap_err();
+        assert!(format!("{e}").contains("positive"));
+        let e = from_text("0 0\n").unwrap_err();
+        assert!(format!("{e}").contains("missing 'range'"));
+    }
+
+    #[test]
+    fn overlong_measured_rejected() {
+        let e = from_text("range 1.0\nmeasured 5\n0 0\n").unwrap_err();
+        assert!(format!("{e}").contains("exceeds node count"));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(from_text("range 1.0\n0 0 0\n").is_err());
+    }
+
+    #[test]
+    fn generated_ring_round_trips() {
+        use rand::SeedableRng;
+        let spec = crate::RingSpec::paper(3, 1.0);
+        let topo = spec
+            .generate(&mut rand::rngs::SmallRng::seed_from_u64(5))
+            .unwrap();
+        let back = from_text(&to_text(&topo)).unwrap();
+        // Float round-trip through shortest-representation formatting is
+        // exact in Rust.
+        assert_eq!(topo, back);
+    }
+}

@@ -1,0 +1,261 @@
+//! The paper's concentric-ring topology generator.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dirca_geometry::{sample, Point};
+
+use crate::Topology;
+
+/// Specification of the paper's ring-structured random topology (§4).
+///
+/// With `n_avg = N`: `N` nodes uniform in the disk of radius `R`, `3N` in
+/// the ring `[R, 2R]`, `5N` in `[2R, 3R]` (so density is uniform across the
+/// whole disk of radius `3R`), subject to the degree constraints:
+///
+/// * each of the inner `N` nodes has between `2` and `2N − 2` neighbours,
+/// * each of the intermediate `3N` nodes has between `1` and `2N − 1`
+///   neighbours.
+///
+/// Topologies violating the constraints are rejected and resampled.
+///
+/// # Example
+///
+/// ```
+/// use dirca_topology::RingSpec;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+/// let spec = RingSpec::paper(5, 1.0);
+/// let topo = spec.generate(&mut rng)?;
+/// assert_eq!(topo.len(), 5 + 15 + 25);
+/// assert_eq!(topo.measured, 5);
+/// # Ok::<(), dirca_topology::RingTopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingSpec {
+    /// Average neighbourhood size `N`; also the inner node count.
+    pub n_avg: usize,
+    /// Transmission range `R`.
+    pub range: f64,
+    /// Number of rings beyond the inner disk (the paper uses 2, for a
+    /// total radius of `3R`).
+    pub outer_rings: usize,
+    /// Maximum placement attempts before giving up.
+    pub max_attempts: usize,
+    /// Enforce the paper's degree constraints.
+    pub enforce_degrees: bool,
+}
+
+/// Error returned when no valid topology was found within the attempt
+/// budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingTopologyError {
+    attempts: usize,
+}
+
+impl fmt::Display for RingTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no topology satisfied the degree constraints after {} attempts",
+            self.attempts
+        )
+    }
+}
+
+impl Error for RingTopologyError {}
+
+impl RingSpec {
+    /// The paper's configuration: rings out to `3R`, degree constraints
+    /// enforced, and a generous retry budget.
+    pub fn paper(n_avg: usize, range: f64) -> Self {
+        RingSpec {
+            n_avg,
+            range,
+            outer_rings: 2,
+            max_attempts: 10_000,
+            enforce_degrees: true,
+        }
+    }
+
+    /// Total node count: `N · (outer_rings + 1)²` (the odd-number ring
+    /// populations `N, 3N, 5N, …` telescope to a perfect square).
+    pub fn total_nodes(&self) -> usize {
+        self.n_avg * (self.outer_rings + 1) * (self.outer_rings + 1)
+    }
+
+    /// Generates a topology satisfying the constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingTopologyError`] if `max_attempts` placements all
+    /// violated the degree constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_avg == 0` or `range` is not positive and finite.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Topology, RingTopologyError> {
+        assert!(self.n_avg > 0, "n_avg must be positive");
+        assert!(
+            self.range > 0.0 && self.range.is_finite(),
+            "range must be positive and finite"
+        );
+        for attempt in 1..=self.max_attempts.max(1) {
+            let topo = self.place(rng);
+            if !self.enforce_degrees || self.degrees_ok(&topo) {
+                return Ok(topo);
+            }
+            let _ = attempt;
+        }
+        Err(RingTopologyError {
+            attempts: self.max_attempts,
+        })
+    }
+
+    fn place<R: Rng + ?Sized>(&self, rng: &mut R) -> Topology {
+        let mut positions = Vec::with_capacity(self.total_nodes());
+        // Inner disk: N nodes in radius R.
+        for _ in 0..self.n_avg {
+            positions.push(sample::uniform_in_disk(rng, Point::ORIGIN, self.range));
+        }
+        // Ring k (1-based): (2k+1)·N nodes in [kR, (k+1)R].
+        for k in 1..=self.outer_rings {
+            let count = (2 * k + 1) * self.n_avg;
+            let inner = self.range * k as f64;
+            let outer = self.range * (k + 1) as f64;
+            for _ in 0..count {
+                positions.push(sample::uniform_in_ring(rng, Point::ORIGIN, inner, outer));
+            }
+        }
+        Topology {
+            positions,
+            range: self.range,
+            measured: self.n_avg,
+        }
+    }
+
+    /// The paper's §4 degree constraints.
+    fn degrees_ok(&self, topo: &Topology) -> bool {
+        let degrees = topo.degrees();
+        let n = self.n_avg;
+        let inner_ok = degrees[..n].iter().all(|&d| d >= 2 && d <= 2 * n - 2);
+        if !inner_ok {
+            return false;
+        }
+        // Intermediate ring: the 3N nodes in [R, 2R].
+        let intermediate_end = (n + 3 * n).min(degrees.len());
+        degrees[n..intermediate_end]
+            .iter()
+            .all(|&d| d >= 1 && d < 2 * n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn node_counts_match_paper() {
+        for n in [3, 5, 8] {
+            let spec = RingSpec::paper(n, 1.0);
+            assert_eq!(spec.total_nodes(), 9 * n);
+            let topo = spec.generate(&mut rng(n as u64)).unwrap();
+            assert_eq!(topo.len(), 9 * n);
+            assert_eq!(topo.measured, n);
+        }
+    }
+
+    #[test]
+    fn nodes_lie_in_their_rings() {
+        let spec = RingSpec::paper(5, 2.0);
+        let topo = spec.generate(&mut rng(11)).unwrap();
+        let d = |i: usize| Point::ORIGIN.distance(topo.positions[i]);
+        for i in 0..5 {
+            assert!(d(i) <= 2.0 + 1e-9, "inner node {i} outside R");
+        }
+        for i in 5..20 {
+            let dist = d(i);
+            assert!(
+                (2.0..=4.0 + 1e-9).contains(&dist),
+                "ring-1 node {i} at {dist}"
+            );
+        }
+        for i in 20..45 {
+            let dist = d(i);
+            assert!(
+                (4.0..=6.0 + 1e-9).contains(&dist),
+                "ring-2 node {i} at {dist}"
+            );
+        }
+    }
+
+    #[test]
+    fn degree_constraints_hold_on_accepted_topologies() {
+        let spec = RingSpec::paper(5, 1.0);
+        for seed in 0..10 {
+            let topo = spec.generate(&mut rng(seed)).unwrap();
+            let degrees = topo.degrees();
+            for (i, &d) in degrees[..5].iter().enumerate() {
+                assert!((2..=8).contains(&d), "inner node {i} degree {d}");
+            }
+            for (i, &d) in degrees[5..20].iter().enumerate() {
+                assert!((1..=9).contains(&d), "intermediate node {i} degree {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = RingSpec::paper(3, 1.0);
+        let a = spec.generate(&mut rng(99)).unwrap();
+        let b = spec.generate(&mut rng(99)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constraints_can_be_disabled() {
+        let mut spec = RingSpec::paper(3, 1.0);
+        spec.enforce_degrees = false;
+        spec.max_attempts = 1;
+        // Must always succeed in one attempt when unconstrained.
+        for seed in 0..20 {
+            assert!(spec.generate(&mut rng(seed)).is_ok());
+        }
+    }
+
+    #[test]
+    fn impossible_constraints_error_out() {
+        // n_avg = 1 requires inner degree in [2, 0]: unsatisfiable.
+        let mut spec = RingSpec::paper(1, 1.0);
+        spec.max_attempts = 10;
+        let err = spec.generate(&mut rng(0)).unwrap_err();
+        assert!(format!("{err}").contains("10 attempts"));
+    }
+
+    #[test]
+    fn extra_rings_scale_quadratically() {
+        let mut spec = RingSpec::paper(2, 1.0);
+        spec.outer_rings = 3;
+        spec.enforce_degrees = false;
+        assert_eq!(spec.total_nodes(), 2 * 16);
+        let topo = spec.generate(&mut rng(5)).unwrap();
+        assert_eq!(topo.len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_avg must be positive")]
+    fn zero_n_avg_panics() {
+        let spec = RingSpec::paper(0, 1.0);
+        let _ = spec.generate(&mut rng(0));
+    }
+}

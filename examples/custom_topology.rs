@@ -1,0 +1,72 @@
+//! Simulating a hand-written topology.
+//!
+//! Topologies are plain text (`dirca_topology::io`): a `range` header, an
+//! optional `measured` count, then one `x y` line per node. This example
+//! embeds a small mesh with a bottleneck bridge node and shows per-node
+//! results — the kind of scripted scenario you would use to debug a
+//! protocol change.
+//!
+//! Run with: `cargo run --release --example custom_topology`
+
+use dirca::mac::Scheme;
+use dirca::net::{run, SimConfig};
+use dirca::sim::SimDuration;
+use dirca::topology::io;
+
+const SCENARIO: &str = "\
+# A dumbbell: two triangles joined through bridge node 3.
+#
+#   0 --- 1            5
+#    \\   /            / \\
+#     \\ /            /   \\
+#      2 ---- 3 ---- 4 --- 6
+#
+range 1.0
+0.0  1.0
+0.9  1.0
+0.45 0.4
+1.2  0.0
+1.95 0.4
+2.4  1.0
+2.85 0.4
+";
+
+fn main() {
+    let topology = io::from_text(SCENARIO).expect("valid scenario text");
+    assert_eq!(
+        topology.degrees(),
+        vec![2, 2, 3, 2, 3, 2, 2],
+        "scenario drifted from its diagram"
+    );
+    println!(
+        "loaded {} nodes; degrees: {:?}\n",
+        topology.len(),
+        topology.degrees()
+    );
+    let config = SimConfig::new(Scheme::DrtsDcts)
+        .with_beamwidth_degrees(45.0)
+        .with_seed(8)
+        .with_warmup(SimDuration::from_millis(200))
+        .with_measure(SimDuration::from_secs(5));
+    let result = run(&topology, &config);
+    println!(
+        "{:>5} | {:>10} | {:>8} | {:>9} | {:>10}",
+        "node", "throughput", "acked", "delivered", "RTS sent"
+    );
+    for node in &result.nodes {
+        println!(
+            "{:>5} | {:>6.0} b/s | {:>8} | {:>9} | {:>10}",
+            node.node,
+            node.throughput_bps(result.window),
+            node.counters.packets_acked,
+            node.counters.data_delivered,
+            node.counters.rts_tx,
+        );
+    }
+    println!(
+        "\nThe bridge node (3) sits in both collision domains at once (no \
+         routing layer — each packet goes to a direct neighbour), so its \
+         exchanges contend with both triangles; with narrow beams the two \
+         triangles can nonetheless run concurrently."
+    );
+}

@@ -1,0 +1,47 @@
+//! The hidden-terminal problem, concretely.
+//!
+//! Three nodes in a line, `A — B — C`: `A` and `C` cannot hear each other
+//! but both talk to `B`. This example shows (a) how the RTS/CTS handshake
+//! keeps the channel usable despite hidden terminals, and (b) what each
+//! scheme's collision avoidance costs: the conservative omni schemes avoid
+//! more data collisions but spend more time coordinating.
+//!
+//! Run with: `cargo run --release --example hidden_terminal`
+
+use dirca::mac::Scheme;
+use dirca::net::{run, SimConfig};
+use dirca::sim::SimDuration;
+use dirca::topology::fixtures;
+
+fn main() {
+    let topology = fixtures::hidden_terminal();
+    println!("A — B — C line, unit range, A/C mutually hidden\n");
+    println!(
+        "{:>10} | {:>12} | {:>10} | {:>11} | {:>10}",
+        "scheme", "throughput", "RTS sent", "CTS t/outs", "ACK t/outs"
+    );
+    for scheme in Scheme::ALL {
+        let config = SimConfig::new(scheme)
+            .with_beamwidth_degrees(45.0)
+            .with_seed(7)
+            .with_warmup(SimDuration::from_millis(200))
+            .with_measure(SimDuration::from_secs(5));
+        let result = run(&topology, &config);
+        let agg = result.aggregate_counters();
+        println!(
+            "{:>10} | {:>8.0} b/s | {:>10} | {:>11} | {:>10}",
+            scheme.to_string(),
+            result.aggregate_throughput_bps(),
+            agg.rts_tx,
+            agg.cts_timeouts,
+            agg.ack_timeouts,
+        );
+    }
+    println!(
+        "\nReading the table: CTS timeouts are RTS packets lost to collisions \
+         (mostly A and C transmitting into B simultaneously); ACK timeouts are \
+         data packets destroyed by hidden terminals that the handshake failed \
+         to silence. The RTS/CTS exchange keeps the expensive data-frame \
+         collisions rare even though A and C never hear each other."
+    );
+}

@@ -1,0 +1,53 @@
+//! Tail latency under load: mean delay hides what the directional schemes
+//! do to the *distribution*.
+//!
+//! Runs Poisson traffic at a moderate load on one ring topology under
+//! ORTS-OCTS and DRTS-DCTS with per-packet delay recording, and prints
+//! p50/p95/p99 of the end-to-end delay.
+//!
+//! Run with: `cargo run --release --example tail_latency`
+
+use dirca::mac::Scheme;
+use dirca::net::{run, SimConfig, TrafficModel};
+use dirca::sim::SimDuration;
+use dirca::stats::percentile;
+use dirca::topology::RingSpec;
+use rand::SeedableRng;
+
+fn main() {
+    let spec = RingSpec::paper(5, 1.0);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(404);
+    let topology = spec.generate(&mut rng).expect("topology generation");
+
+    println!(
+        "{:>10} | {:>9} | {:>9} | {:>9} | {:>9}",
+        "scheme", "packets", "p50 (ms)", "p95 (ms)", "p99 (ms)"
+    );
+    for scheme in [Scheme::OrtsOcts, Scheme::DrtsDcts] {
+        let mut config = SimConfig::new(scheme)
+            .with_beamwidth_degrees(30.0)
+            .with_seed(21)
+            .with_traffic(TrafficModel::Poisson {
+                packets_per_sec: 12.0,
+                max_queue: 32,
+            })
+            .with_warmup(SimDuration::from_millis(500))
+            .with_measure(SimDuration::from_secs(20));
+        config.record_delays = true;
+        let result = run(&topology, &config);
+        let delays_ms: Vec<f64> = result.delay_samples().iter().map(|d| d * 1e3).collect();
+        let p = |q: f64| percentile(&delays_ms, q).unwrap_or(f64::NAN);
+        println!(
+            "{:>10} | {:>9} | {:>9.1} | {:>9.1} | {:>9.1}",
+            scheme.to_string(),
+            delays_ms.len(),
+            p(50.0),
+            p(95.0),
+            p(99.0),
+        );
+    }
+    println!(
+        "\nAt the same offered load, spatial reuse shortens the queueing tail: \
+         the p99 gap is typically much larger than the mean-delay gap of Fig. 7."
+    );
+}

@@ -1,0 +1,55 @@
+//! # dirca — directional-antenna collision avoidance
+//!
+//! A from-scratch Rust reproduction of Yu Wang & J. J. Garcia-Luna-Aceves,
+//! *Collision Avoidance in Single-Channel Ad Hoc Networks Using
+//! Directional Antennas* (IEEE ICDCS 2003): both the analytical model of
+//! the three collision-avoidance schemes (ORTS-OCTS, DRTS-DCTS,
+//! DRTS-OCTS) and the full IEEE 802.11 DCF simulation study that validates
+//! it — including the discrete-event engine, directional radio, MAC,
+//! topology generators, and experiment harness the paper built on
+//! GloMoSim.
+//!
+//! This crate is a facade: it re-exports the workspace crates under short
+//! module names. See the README for the architecture map and `DESIGN.md`
+//! for the paper-to-module index.
+//!
+//! ## Quick start
+//!
+//! Analytical model (Fig. 5):
+//!
+//! ```
+//! use dirca::analysis::{optimize, ModelInput, ProtocolTimes};
+//! use dirca::mac::Scheme;
+//!
+//! let input = ModelInput::new(ProtocolTimes::paper(), 5.0, 30f64.to_radians());
+//! let best = optimize::max_throughput(Scheme::DrtsDcts, &input);
+//! println!("DRTS-DCTS optimum: {:.3} at p = {:.4}", best.throughput, best.p);
+//! ```
+//!
+//! Simulation (Figs. 6/7):
+//!
+//! ```
+//! use dirca::mac::Scheme;
+//! use dirca::net::{run, SimConfig};
+//! use dirca::topology::fixtures;
+//!
+//! let topology = fixtures::hidden_terminal();
+//! let config = SimConfig::new(Scheme::DrtsDcts)
+//!     .with_beamwidth_degrees(30.0)
+//!     .with_seed(7)
+//!     .with_measure(dirca::sim::SimDuration::from_millis(500));
+//! let result = run(&topology, &config);
+//! println!("throughput: {:.0} bit/s", result.aggregate_throughput_bps());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dirca_analysis as analysis;
+pub use dirca_experiments as experiments;
+pub use dirca_geometry as geometry;
+pub use dirca_mac as mac;
+pub use dirca_net as net;
+pub use dirca_radio as radio;
+pub use dirca_sim as sim;
+pub use dirca_stats as stats;
+pub use dirca_topology as topology;
