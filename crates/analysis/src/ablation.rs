@@ -10,8 +10,6 @@
 //! 3. **Truncated-geometric `T_fail`** vs. the pessimistic fixed
 //!    `T_fail = T_succeed`.
 
-use serde::{Deserialize, Serialize};
-
 use dirca_geometry::paper::drts_dcts_areas;
 
 use crate::integrate::simpson;
@@ -22,7 +20,7 @@ use crate::orts_octs::PANELS;
 use crate::tgeom::truncated_geometric_mean;
 
 /// Variants of the DRTS-DCTS model being ablated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DrtsDctsVariant {
     /// The paper's model (θ′ = θ, truncated-geometric `T_fail`).
     Paper,
@@ -52,7 +50,8 @@ pub fn drts_dcts_variant(variant: DrtsDctsVariant, input: &ModelInput, p: f64) -
     let w4 = f64::from(2 * t.l_rts + t.l_cts + t.l_ack + 2);
     let w5 = f64::from(3 * t.l_rts + t.l_data + 2);
     let p_ws = simpson(0.0, 1.0, PANELS, |r| {
-        if r == 0.0 {
+        if r <= 0.0 {
+            // The integration variable is non-negative: exact origin guard.
             return 0.0;
         }
         let a = drts_dcts_areas(r, input.theta);
@@ -79,7 +78,7 @@ pub fn drts_dcts_variant(variant: DrtsDctsVariant, input: &ModelInput, p: f64) -
 
 /// One row of the ablation table: optimum throughput of each variant at a
 /// beamwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AblationRow {
     /// Beamwidth in degrees.
     pub theta_degrees: f64,

@@ -31,7 +31,8 @@ pub fn p_ws_at(input: &ModelInput, p: f64, r: f64) -> f64 {
 pub fn p_ws(input: &ModelInput, p: f64) -> f64 {
     validate_p(p);
     simpson(0.0, 1.0, PANELS, |r| {
-        if r == 0.0 {
+        if r <= 0.0 {
+            // The integration variable is non-negative: exact origin guard.
             0.0
         } else {
             2.0 * r * p_ws_at(input, p, r)

@@ -24,7 +24,9 @@ pub fn simpson(a: f64, b: f64, panels: usize, f: impl Fn(f64) -> f64) -> f64 {
         "bad bounds [{a}, {b}]"
     );
     assert!(panels > 0, "at least one panel required");
-    if a == b {
+    // The assert above guarantees `a <= b`, so `a >= b` means the interval
+    // is empty.
+    if a >= b {
         return 0.0;
     }
     let n = if panels.is_multiple_of(2) {

@@ -40,7 +40,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+// Unwraps and exact float comparisons are idiomatic in test assertions.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
 /// The paper-to-code notation map (rendered from `NOTATION.md`).
 #[doc = include_str!("../NOTATION.md")]
@@ -60,6 +62,8 @@ mod model;
 mod tgeom;
 
 pub use integrate::simpson;
+#[cfg(feature = "audit")]
+pub use markov::audit as markov_audit;
 pub use markov::{steady_state, throughput_from_chain, ChainInput, SteadyState};
 pub use model::{ModelInput, ProtocolTimes};
 pub use tgeom::truncated_geometric_mean;

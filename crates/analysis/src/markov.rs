@@ -1,9 +1,7 @@
 //! The three-state node Markov chain (Fig. 1 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// Inputs to the chain: transition probabilities and state durations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChainInput {
     /// Probability of staying in *wait* for another slot.
     pub p_ww: f64,
@@ -18,7 +16,7 @@ pub struct ChainInput {
 }
 
 /// Steady-state occupation probabilities of the chain.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SteadyState {
     /// π_w — probability of the *wait* state.
     pub wait: f64,
@@ -49,11 +47,17 @@ pub fn steady_state(input: &ChainInput) -> SteadyState {
     let wait = 1.0 / (2.0 - input.p_ww);
     let succeed = wait * input.p_ws;
     let fail = (1.0 - wait - succeed).max(0.0);
-    SteadyState {
+    let ss = SteadyState {
         wait,
         succeed,
         fail,
+    };
+    #[cfg(feature = "audit")]
+    {
+        audit::assert_stochastic(&audit::transition_matrix(input));
+        audit::assert_fixed_point(input, &ss);
     }
+    ss
 }
 
 /// The paper's throughput formula: time in successful data transmission
@@ -71,6 +75,67 @@ pub fn throughput_from_chain(input: &ChainInput) -> f64 {
     let ss = steady_state(input);
     let denom = ss.wait + ss.succeed * input.t_succeed + ss.fail * input.t_fail;
     input.l_data * ss.succeed / denom
+}
+
+/// Stochastic-matrix auditing for the chain (feature `audit`): panics with
+/// `audit[markov]:` messages when the transition matrix is not
+/// row-stochastic or a claimed steady state is not a fixed point of it.
+/// [`steady_state`] runs both checks on every solve when the feature is on.
+#[cfg(feature = "audit")]
+pub mod audit {
+    use super::{ChainInput, SteadyState};
+
+    /// Numerical slack for probability arithmetic.
+    const EPS: f64 = 1e-9;
+
+    /// The explicit transition matrix of the wait/succeed/fail chain, rows
+    /// in that state order: *wait* self-loops with `p_ww` and exits to
+    /// *succeed*/*fail*; both transmission states return to *wait*.
+    pub fn transition_matrix(input: &ChainInput) -> [[f64; 3]; 3] {
+        [
+            [input.p_ww, input.p_ws, 1.0 - input.p_ww - input.p_ws],
+            [1.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+        ]
+    }
+
+    /// Panics unless every row of `matrix` is a probability distribution
+    /// (entries in `[0, 1]`, summing to 1, within numerical slack).
+    pub fn assert_stochastic(matrix: &[[f64; 3]; 3]) {
+        for (i, row) in matrix.iter().enumerate() {
+            for (j, &p) in row.iter().enumerate() {
+                assert!(
+                    (-EPS..=1.0 + EPS).contains(&p) && p.is_finite(),
+                    "audit[markov]: transition probability P[{i}][{j}] = {p} outside [0, 1]"
+                );
+            }
+            let sum: f64 = row.iter().sum();
+            assert!(
+                (sum - 1.0).abs() <= EPS,
+                "audit[markov]: row {i} sums to {sum}, not 1 — matrix is not stochastic"
+            );
+        }
+    }
+
+    /// Panics unless `ss` is a normalized fixed point of the chain's
+    /// transition matrix: `π P = π` and `Σ π = 1` (within numerical slack).
+    pub fn assert_fixed_point(input: &ChainInput, ss: &SteadyState) {
+        let m = transition_matrix(input);
+        let pi = [ss.wait, ss.succeed, ss.fail];
+        let total: f64 = pi.iter().sum();
+        assert!(
+            (total - 1.0).abs() <= EPS,
+            "audit[markov]: steady state sums to {total}, not 1"
+        );
+        for (j, &p_j) in pi.iter().enumerate() {
+            let next: f64 = (0..3).map(|i| pi[i] * m[i][j]).sum();
+            assert!(
+                (next - p_j).abs() <= EPS,
+                "audit[markov]: steady state is not a fixed point: (πP)[{j}] = {next} but \
+                 π[{j}] = {p_j}"
+            );
+        }
+    }
 }
 
 #[cfg(test)]

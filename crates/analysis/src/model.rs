@@ -1,10 +1,8 @@
 //! Model inputs.
 
-use serde::{Deserialize, Serialize};
-
 /// Packet lengths in slots (the paper normalizes all packet durations to
 /// the slot length τ).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProtocolTimes {
     /// RTS duration in slots.
     pub l_rts: u32,
@@ -43,7 +41,7 @@ impl Default for ProtocolTimes {
 }
 
 /// Input to the per-scheme throughput formulas.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModelInput {
     /// Packet lengths in slots.
     pub times: ProtocolTimes,

@@ -1,12 +1,11 @@
 //! Maximizing throughput over the attempt probability `p`.
 
 use dirca_mac::Scheme;
-use serde::{Deserialize, Serialize};
 
 use crate::{throughput, ModelInput};
 
 /// The result of a throughput maximization.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Optimum {
     /// Argmax attempt probability.
     pub p: f64,

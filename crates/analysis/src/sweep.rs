@@ -1,14 +1,13 @@
 //! The beamwidth sweep regenerating Fig. 5.
 
 use dirca_mac::Scheme;
-use serde::{Deserialize, Serialize};
 
 use crate::optimize::max_throughput;
 use crate::{ModelInput, ProtocolTimes};
 
 /// One row of the Fig. 5 data: maximum achievable throughput of the three
 /// schemes at a given beamwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig5Row {
     /// Beamwidth in degrees.
     pub theta_degrees: f64,
@@ -73,7 +72,7 @@ pub fn paper_theta_grid() -> Vec<f64> {
 
 /// One row of the data-length sweep (extension E10): maximum achievable
 /// throughput of the three schemes as the data packet length varies.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DataLengthRow {
     /// Data packet length in slots.
     pub l_data: u32,

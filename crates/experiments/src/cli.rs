@@ -1,11 +1,11 @@
 //! Minimal flag parsing shared by the experiment binaries.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parsed command-line flags: `--key value` pairs and bare `--switch`es.
 #[derive(Debug, Clone, Default)]
 pub struct Flags {
-    values: HashMap<String, String>,
+    values: BTreeMap<String, String>,
     switches: Vec<String>,
 }
 

@@ -9,8 +9,6 @@
 //! [`dirca_radio::ReceptionMode::Directional`] and compares against the
 //! paper's omni-reception baseline.
 
-use serde::{Deserialize, Serialize};
-
 use dirca_geometry::Beamwidth;
 use dirca_mac::Scheme;
 use dirca_radio::ReceptionMode;
@@ -18,7 +16,7 @@ use dirca_radio::ReceptionMode;
 use crate::ringsim::{run_cell, RingExperiment, RingOutcome};
 
 /// Outcome of the directional-reception comparison for one scheme.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RxComparison {
     /// Scheme under test.
     pub scheme: Scheme,

@@ -23,7 +23,9 @@
 //! experiment-specific flags; see each binary's `--help`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+// Unwraps and exact float comparisons are idiomatic in test assertions.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
 pub mod cli;
 pub mod directional_rx;
@@ -32,6 +34,7 @@ pub mod mac_ablation;
 pub mod model_vs_sim;
 pub mod offered_load;
 pub mod plot;
+mod pool;
 pub mod report;
 pub mod ringsim;
 pub mod rts_threshold;

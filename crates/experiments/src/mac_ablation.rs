@@ -6,14 +6,12 @@
 //! RTS retries vs Ko-style omni fallback. This experiment toggles each on
 //! the ring simulation and reports its effect.
 
-use serde::{Deserialize, Serialize};
-
 use dirca_mac::{MacConfig, Scheme};
 
 use crate::ringsim::{run_cell, RingExperiment, RingOutcome};
 
 /// A named MAC variant.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MacVariant {
     /// Human-readable label.
     pub label: String,
@@ -91,9 +89,11 @@ mod tests {
     #[test]
     fn variants_produce_distinct_dynamics() {
         // On a contended cell, toggling NAV respect must change the run
-        // (event counts and throughput will differ).
+        // (event counts and throughput will differ). Omni RTS/CTS maximizes
+        // how often a receiver's NAV is busy when an RTS addressed to it
+        // arrives, which is the condition the toggle controls.
         let run = |config: MacConfig| {
-            let mut exp = RingExperiment::quick(Scheme::DrtsDcts, 3, 30.0);
+            let mut exp = RingExperiment::quick(Scheme::OrtsOcts, 5, 30.0);
             exp.topologies = 2;
             exp.measure = SimDuration::from_millis(500);
             exp.mac = config;

@@ -8,8 +8,7 @@
 //! differ by construction (the model's `p` abstraction has no BEB), so the
 //! comparison is about ordering and trend.
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use crate::pool::parallel_indexed;
 
 use dirca_analysis::optimize::max_throughput;
 use dirca_analysis::{ModelInput, ProtocolTimes};
@@ -20,7 +19,7 @@ use dirca_stats::Summary;
 use dirca_topology::poisson_core;
 
 /// One (scheme, θ) comparison cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ComparisonCell {
     /// Scheme under test.
     pub scheme: Scheme,
@@ -67,35 +66,27 @@ fn simulate(
     seed: u64,
     threads: usize,
 ) -> Summary {
-    let out = Mutex::new(Summary::new());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|_| loop {
-                let f = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if f >= fields {
-                    break;
-                }
-                let mut rng = stream_rng(derive_seed(seed, 0xF1E1D + f as u64), 0);
-                let topology = poisson_core(&mut rng, n_avg, 1.0, 3.0, 1.0);
-                if topology.measured == 0 || topology.len() < 2 {
-                    continue; // an empty core contributes no sample
-                }
-                let config = SimConfig::new(scheme)
-                    .with_beamwidth_degrees(theta_deg)
-                    .with_seed(derive_seed(seed, 0x51D + f as u64))
-                    .with_warmup(SimDuration::from_millis(200))
-                    .with_measure(measure);
-                let result = run(&topology, &config);
-                // Per-node normalized throughput: comparable to the
-                // model's per-node time fraction.
-                let per_node = result.mean_node_throughput_bps() / 2e6;
-                out.lock().push(per_node);
-            });
+    let samples = parallel_indexed(fields, threads, |f| {
+        let mut rng = stream_rng(derive_seed(seed, 0xF1E1D + f as u64), 0);
+        let topology = poisson_core(&mut rng, n_avg, 1.0, 3.0, 1.0);
+        if topology.measured == 0 || topology.len() < 2 {
+            return None; // an empty core contributes no sample
         }
-    })
-    .expect("comparison worker panicked");
-    out.into_inner()
+        let config = SimConfig::new(scheme)
+            .with_beamwidth_degrees(theta_deg)
+            .with_seed(derive_seed(seed, 0x51D + f as u64))
+            .with_warmup(SimDuration::from_millis(200))
+            .with_measure(measure);
+        let result = run(&topology, &config);
+        // Per-node normalized throughput: comparable to the model's
+        // per-node time fraction.
+        Some(result.mean_node_throughput_bps() / 2e6)
+    });
+    let mut out = Summary::new();
+    for per_node in samples.into_iter().flatten() {
+        out.push(per_node);
+    }
+    out
 }
 
 #[cfg(test)]

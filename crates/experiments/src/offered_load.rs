@@ -7,8 +7,7 @@
 //! — with the directional schemes saturating later (their spatial-reuse
 //! advantage) and keeping delay lower on the way up.
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use crate::pool::parallel_indexed;
 
 use dirca_mac::Scheme;
 use dirca_net::{run, SimConfig, TrafficModel};
@@ -17,7 +16,7 @@ use dirca_stats::Summary;
 use dirca_topology::RingSpec;
 
 /// One point of the load sweep for one scheme.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LoadPoint {
     /// Offered load per node, packets per second.
     pub offered_pps: f64,
@@ -30,7 +29,7 @@ pub struct LoadPoint {
 }
 
 /// Configuration of the offered-load sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LoadSweep {
     /// Neighbourhood size `N` of the ring topologies.
     pub n_avg: usize,
@@ -70,45 +69,40 @@ pub fn run_sweep(scheme: Scheme, sweep: &LoadSweep, threads: usize) -> Vec<LoadP
 }
 
 fn run_point(scheme: Scheme, sweep: &LoadSweep, rate: f64, threads: usize) -> LoadPoint {
-    let point = Mutex::new(LoadPoint {
+    let samples = parallel_indexed(sweep.topologies, threads, |t| {
+        let spec = RingSpec::paper(sweep.n_avg, 1.0);
+        let mut topo_rng = stream_rng(derive_seed(sweep.seed, 0xA11CE), t as u64);
+        let topology = spec.generate(&mut topo_rng).expect("topology generation");
+        let config = SimConfig::new(scheme)
+            .with_beamwidth_degrees(sweep.beamwidth_degrees)
+            .with_seed(derive_seed(sweep.seed, 0xB0B + t as u64))
+            .with_traffic(TrafficModel::Poisson {
+                packets_per_sec: rate,
+                max_queue: 32,
+            })
+            .with_warmup(SimDuration::from_millis(200))
+            .with_measure(sweep.measure);
+        let result = run(&topology, &config);
+        (
+            result.aggregate_throughput_bps() / config.params.bit_rate_bps as f64,
+            result.mean_e2e_delay(),
+            result.queue_drops() as f64,
+        )
+    });
+    let mut point = LoadPoint {
         offered_pps: rate,
         throughput: Summary::new(),
         e2e_delay_ms: Summary::new(),
         queue_drops: Summary::new(),
-    });
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if t >= sweep.topologies {
-                    break;
-                }
-                let spec = RingSpec::paper(sweep.n_avg, 1.0);
-                let mut topo_rng = stream_rng(derive_seed(sweep.seed, 0xA11CE), t as u64);
-                let topology = spec.generate(&mut topo_rng).expect("topology generation");
-                let config = SimConfig::new(scheme)
-                    .with_beamwidth_degrees(sweep.beamwidth_degrees)
-                    .with_seed(derive_seed(sweep.seed, 0xB0B + t as u64))
-                    .with_traffic(TrafficModel::Poisson {
-                        packets_per_sec: rate,
-                        max_queue: 32,
-                    })
-                    .with_warmup(SimDuration::from_millis(200))
-                    .with_measure(sweep.measure);
-                let result = run(&topology, &config);
-                let mut p = point.lock();
-                p.throughput
-                    .push(result.aggregate_throughput_bps() / config.params.bit_rate_bps as f64);
-                if let Some(d) = result.mean_e2e_delay() {
-                    p.e2e_delay_ms.push(d.as_secs_f64() * 1e3);
-                }
-                p.queue_drops.push(result.queue_drops() as f64);
-            });
+    };
+    for (throughput, delay, drops) in samples {
+        point.throughput.push(throughput);
+        if let Some(d) = delay {
+            point.e2e_delay_ms.push(d.as_secs_f64() * 1e3);
         }
-    })
-    .expect("load-sweep worker panicked");
-    point.into_inner()
+        point.queue_drops.push(drops);
+    }
+    point
 }
 
 #[cfg(test)]

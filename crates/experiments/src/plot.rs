@@ -243,7 +243,8 @@ impl LineChart {
 }
 
 fn fmt_tick(v: f64) -> String {
-    if v == 0.0 {
+    // Axis ticks at (or within rounding noise of) the origin print as "0".
+    if v.abs() < 1e-12 {
         "0".into()
     } else if v.abs() >= 100.0 {
         format!("{v:.0}")

@@ -1,0 +1,68 @@
+//! Deterministic fork-join helper for experiment sweeps.
+//!
+//! Experiment cells fan independent per-topology simulations out over a
+//! small thread pool. Aggregating floating-point summaries in
+//! thread-completion order would make the final statistics depend on the
+//! scheduler (f64 addition is not associative), so workers return indexed
+//! samples and the caller folds them in index order — results are
+//! byte-identical for any `threads` value.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `job(i)` for every `i in 0..count` across up to `threads` workers
+/// and returns the results in index order, independent of thread
+/// scheduling.
+///
+/// # Panics
+///
+/// Propagates panics from `job`.
+pub(crate) fn parallel_indexed<T, F>(count: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, count.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(count));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let value = job(i);
+                slots
+                    .lock()
+                    .expect("a sibling worker panicked while aggregating")
+                    .push((i, value));
+            });
+        }
+    });
+    let mut slots = slots
+        .into_inner()
+        .expect("a worker panicked while aggregating");
+    slots.sort_by_key(|&(i, _)| i);
+    slots.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parallel_indexed;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 8] {
+            let got = parallel_indexed(100, threads, |i| i * i);
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_count_yields_empty() {
+        let got: Vec<u32> = parallel_indexed(0, 4, |_| unreachable!("no work"));
+        assert!(got.is_empty());
+    }
+}

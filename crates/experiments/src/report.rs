@@ -183,7 +183,12 @@ pub fn combined_report(scale: &GridScale) -> String {
                 for scheme in Scheme::ALL {
                     let outcome = outcomes
                         .iter()
-                        .find(|(on, ot, os, _)| *on == n && *ot == theta && *os == scheme)
+                        // Beamwidths are copied verbatim from the scale
+                        // config, so bitwise equality is the right key
+                        // comparison here.
+                        .find(|(on, ot, os, _)| {
+                            *on == n && ot.to_bits() == theta.to_bits() && *os == scheme
+                        })
                         .map(|(_, _, _, o)| o)
                         .expect("cell was computed");
                     let s = metric.pick(outcome);

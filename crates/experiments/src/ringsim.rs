@@ -7,9 +7,7 @@
 //! the innermost `N` nodes; the cell's outcome is the distribution of
 //! those per-topology values (the paper plots mean plus min–max range).
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
-
+use crate::pool::parallel_indexed;
 use dirca_mac::{MacConfig, Scheme};
 use dirca_net::{run, SimConfig};
 use dirca_radio::ReceptionMode;
@@ -19,7 +17,7 @@ use dirca_topology::RingSpec;
 
 /// One experiment cell: `topologies` random ring layouts simulated under a
 /// single protocol configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RingExperiment {
     /// Collision-avoidance scheme under test.
     pub scheme: Scheme,
@@ -70,7 +68,7 @@ impl RingExperiment {
 }
 
 /// Distribution of per-topology metrics for one cell.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RingOutcome {
     /// Aggregate throughput of the inner `N` nodes, normalized to the
     /// channel bit rate (so 1.0 = the 2 Mbps channel fully utilized with
@@ -96,33 +94,23 @@ pub struct RingOutcome {
 /// Panics if a topology satisfying the paper's degree constraints cannot
 /// be found (see [`dirca_topology::RingSpec::generate`]).
 pub fn run_cell(experiment: &RingExperiment, threads: usize) -> RingOutcome {
-    let threads = threads.max(1);
-    let outcome = Mutex::new(RingOutcome::default());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if t >= experiment.topologies {
-                    break;
-                }
-                let sample = run_one_topology(experiment, t);
-                let mut agg = outcome.lock();
-                agg.throughput.push(sample.throughput);
-                if let Some(d) = sample.delay_ms {
-                    agg.delay_ms.push(d);
-                }
-                if let Some(c) = sample.collision_ratio {
-                    agg.collision_ratio.push(c);
-                }
-                if let Some(j) = sample.jain {
-                    agg.jain.push(j);
-                }
-            });
+    let samples = parallel_indexed(experiment.topologies, threads, |t| {
+        run_one_topology(experiment, t)
+    });
+    let mut agg = RingOutcome::default();
+    for sample in samples {
+        agg.throughput.push(sample.throughput);
+        if let Some(d) = sample.delay_ms {
+            agg.delay_ms.push(d);
         }
-    })
-    .expect("experiment worker panicked");
-    outcome.into_inner()
+        if let Some(c) = sample.collision_ratio {
+            agg.collision_ratio.push(c);
+        }
+        if let Some(j) = sample.jain {
+            agg.jain.push(j);
+        }
+    }
+    agg
 }
 
 /// Per-topology metric sample.

@@ -6,8 +6,7 @@
 //! [`dirca_analysis::basic`] model. With long frames and hidden terminals
 //! the handshake wins; with short frames its four-packet overhead loses.
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use crate::pool::parallel_indexed;
 
 use dirca_mac::{MacConfig, Scheme};
 use dirca_net::{run, SimConfig};
@@ -16,7 +15,7 @@ use dirca_stats::Summary;
 use dirca_topology::RingSpec;
 
 /// One row of the comparison: a data size, simulated both ways.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThresholdRow {
     /// Data frame size in bytes.
     pub data_bytes: u32,
@@ -31,7 +30,7 @@ pub struct ThresholdRow {
 }
 
 /// Configuration of the comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThresholdStudy {
     /// Ring density `N`.
     pub n_avg: usize,
@@ -78,40 +77,34 @@ pub fn run_study(study: &ThresholdStudy, threads: usize) -> Vec<ThresholdRow> {
 }
 
 fn run_mode(study: &ThresholdStudy, bytes: u32, basic: bool, threads: usize) -> (Summary, Summary) {
-    let throughput = Mutex::new(Summary::new());
-    let collisions = Mutex::new(Summary::new());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if t >= study.topologies {
-                    break;
-                }
-                let spec = RingSpec::paper(study.n_avg, 1.0);
-                let mut topo_rng = stream_rng(derive_seed(study.seed, 0xA11CE), t as u64);
-                let topology = spec.generate(&mut topo_rng).expect("topology generation");
-                let mut config = SimConfig::new(Scheme::OrtsOcts)
-                    .with_seed(derive_seed(study.seed, 0xB0B + t as u64))
-                    .with_data_bytes(bytes)
-                    .with_warmup(SimDuration::from_millis(200))
-                    .with_measure(study.measure);
-                config.mac = MacConfig {
-                    rts_threshold_bytes: if basic { u32::MAX } else { 0 },
-                    ..MacConfig::default()
-                };
-                let result = run(&topology, &config);
-                throughput
-                    .lock()
-                    .push(result.aggregate_throughput_bps() / 2e6);
-                if let Some(c) = result.collision_ratio() {
-                    collisions.lock().push(c);
-                }
-            });
+    let samples = parallel_indexed(study.topologies, threads, |t| {
+        let spec = RingSpec::paper(study.n_avg, 1.0);
+        let mut topo_rng = stream_rng(derive_seed(study.seed, 0xA11CE), t as u64);
+        let topology = spec.generate(&mut topo_rng).expect("topology generation");
+        let mut config = SimConfig::new(Scheme::OrtsOcts)
+            .with_seed(derive_seed(study.seed, 0xB0B + t as u64))
+            .with_data_bytes(bytes)
+            .with_warmup(SimDuration::from_millis(200))
+            .with_measure(study.measure);
+        config.mac = MacConfig {
+            rts_threshold_bytes: if basic { u32::MAX } else { 0 },
+            ..MacConfig::default()
+        };
+        let result = run(&topology, &config);
+        (
+            result.aggregate_throughput_bps() / 2e6,
+            result.collision_ratio(),
+        )
+    });
+    let mut throughput = Summary::new();
+    let mut collisions = Summary::new();
+    for (tp, collision) in samples {
+        throughput.push(tp);
+        if let Some(c) = collision {
+            collisions.push(c);
         }
-    })
-    .expect("threshold-study worker panicked");
-    (throughput.into_inner(), collisions.into_inner())
+    }
+    (throughput, collisions)
 }
 
 #[cfg(test)]

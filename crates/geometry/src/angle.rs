@@ -5,8 +5,6 @@ use std::f64::consts::{PI, TAU};
 use std::fmt;
 use std::ops::{Add, Neg, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A heading on the plane, normalized to the half-open interval `(-π, π]`.
 ///
 /// Angles are measured counter-clockwise from the positive x-axis, matching
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// let b = a + Angle::from_degrees(20.0);
 /// assert!((b.degrees() - 10.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Angle {
     radians: f64,
 }
@@ -130,7 +128,7 @@ fn normalize_radians(mut r: f64) -> f64 {
 /// assert!(Beamwidth::from_degrees(400.0).is_err());
 /// # Ok::<(), dirca_geometry::BeamwidthError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Beamwidth {
     radians: f64,
 }

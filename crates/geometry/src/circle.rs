@@ -3,8 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::Point;
 
 /// A disk on the plane — typically a node's transmission/reception region.
@@ -18,7 +16,7 @@ use crate::Point;
 /// assert!(c.contains(Point::new(0.5, 0.5)));
 /// assert!(!c.contains(Point::new(1.0, 1.0)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Circle {
     /// Center of the disk.
     pub center: Point,

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 use crate::Angle;
 
 /// A point on the two-dimensional plane.
@@ -22,7 +20,7 @@ use crate::Angle;
 /// let b = Point::new(3.0, 4.0);
 /// assert_eq!(a.distance(b), 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Horizontal coordinate.
     pub x: f64,
@@ -41,7 +39,7 @@ pub struct Point {
 /// assert_eq!(v, Vec2::new(1.0, 0.0));
 /// assert_eq!(v.norm(), 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec2 {
     /// Horizontal component.
     pub x: f64,
@@ -75,7 +73,7 @@ impl Point {
     /// Returns [`Angle::ZERO`] when the points coincide.
     pub fn heading_to(self, other: Point) -> Angle {
         let d = other - self;
-        if d.x == 0.0 && d.y == 0.0 {
+        if d == Vec2::ZERO {
             Angle::ZERO
         } else {
             Angle::from_radians(d.y.atan2(d.x))
@@ -126,7 +124,7 @@ impl Vec2 {
 
     /// Direction of this vector; [`Angle::ZERO`] for the zero vector.
     pub fn heading(self) -> Angle {
-        if self.x == 0.0 && self.y == 0.0 {
+        if self == Vec2::ZERO {
             Angle::ZERO
         } else {
             Angle::from_radians(self.y.atan2(self.x))
@@ -138,7 +136,8 @@ impl Vec2 {
     /// Returns [`Vec2::ZERO`] for the zero vector.
     pub fn normalized(self) -> Vec2 {
         let n = self.norm();
-        if n == 0.0 {
+        // A norm is non-negative, so this is an exact zero-vector guard.
+        if n <= 0.0 {
             Vec2::ZERO
         } else {
             self / n

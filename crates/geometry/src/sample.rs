@@ -73,7 +73,9 @@ pub fn poisson_count<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
         mean.is_finite() && mean >= 0.0,
         "Poisson mean must be finite and non-negative, got {mean}"
     );
-    if mean == 0.0 {
+    // The assert above guarantees `mean >= 0`, so this is an exact zero
+    // guard.
+    if mean <= 0.0 {
         return 0;
     }
     if mean > 64.0 {

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Angle, Beamwidth, Point};
 
 /// An ideal antenna beam: a circular sector with apex at the transmitter,
@@ -24,7 +22,7 @@ use crate::{Angle, Beamwidth, Point};
 /// assert!(beam.contains(rx));
 /// # Ok::<(), dirca_geometry::BeamwidthError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sector {
     apex: Point,
     boresight: Angle,

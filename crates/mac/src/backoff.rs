@@ -1,7 +1,5 @@
 //! Binary exponential backoff with freeze/resume at slot granularity.
 
-use serde::{Deserialize, Serialize};
-
 /// The DCF binary exponential backoff engine.
 ///
 /// Tracks the contention window (doubling from `cw_min + 1` up to
@@ -23,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// b.on_success();
 /// assert_eq!(b.cw(), 31);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Backoff {
     cw_min: u32,
     cw_max: u32,

@@ -1,7 +1,5 @@
 //! Per-node MAC statistics.
 
-use serde::{Deserialize, Serialize};
-
 use dirca_sim::SimDuration;
 
 /// Event counters and delay accumulators for one node's MAC.
@@ -14,7 +12,7 @@ use dirca_sim::SimDuration;
 /// * **collision ratio** — `ack_timeouts / (ack_timeouts + packets_acked)`,
 ///   the fraction of RTS-CTS-DATA handshakes whose data frame collided
 ///   (§4 of the paper).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MacCounters {
     /// RTS frames transmitted.
     pub rts_tx: u64,

@@ -1,8 +1,6 @@
 //! The DCF protocol engine.
 
-use std::collections::{HashMap, VecDeque};
-
-use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
 
 use dirca_radio::NodeId;
 use dirca_sim::{SimDuration, SimTime, TimerGeneration, TimerSlot};
@@ -10,7 +8,7 @@ use dirca_sim::{SimDuration, SimTime, TimerGeneration, TimerSlot};
 use crate::{Backoff, DataPacket, Dot11Params, Frame, FrameKind, MacCounters, Nav, Scheme};
 
 /// The MAC's logical timers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TimerKind {
     /// DIFS/EIFS wait plus backoff countdown; fires when the node may send
     /// its RTS.
@@ -75,7 +73,7 @@ pub trait MacContext {
 }
 
 /// Tunables beyond the PHY parameters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MacConfig {
     /// RTS retry limit (station short retry count), 7 in IEEE 802.11.
     pub short_retry_limit: u32,
@@ -190,7 +188,7 @@ pub struct DcfMac {
     /// Receive dedup cache: last data sequence number seen per sender
     /// (IEEE 802.11 duplicate detection; dups are re-ACKed, not
     /// re-delivered).
-    rx_last_seq: HashMap<NodeId, u64>,
+    rx_last_seq: BTreeMap<NodeId, u64>,
     counters: MacCounters,
 }
 
@@ -214,7 +212,7 @@ impl DcfMac {
             timers: Default::default(),
             backoff_armed_at: None,
             eifs_pending: false,
-            rx_last_seq: HashMap::new(),
+            rx_last_seq: BTreeMap::new(),
             counters: MacCounters::new(),
         }
     }
@@ -227,6 +225,18 @@ impl DcfMac {
     /// The scheme this MAC runs.
     pub fn scheme(&self) -> Scheme {
         self.scheme
+    }
+
+    /// The virtual carrier-sense state (read-only; used by the runtime
+    /// invariant auditors to cross-check transmit decisions against the
+    /// NAV).
+    pub fn nav(&self) -> &Nav {
+        &self.nav
+    }
+
+    /// The behaviour knobs this MAC was built with.
+    pub fn config(&self) -> &MacConfig {
+        &self.config
     }
 
     /// The statistics counters.

@@ -2,15 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use dirca_radio::NodeId;
 use dirca_sim::{SimDuration, SimTime};
 
 use crate::Dot11Params;
 
 /// The four MAC frame types of the RTS/CTS four-way handshake.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FrameKind {
     /// Request-to-send.
     Rts,
@@ -35,7 +33,7 @@ impl fmt::Display for FrameKind {
 }
 
 /// An upper-layer packet handed to the MAC for delivery.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DataPacket {
     /// Sender-local sequence number.
     pub seq: u64,
@@ -67,7 +65,7 @@ impl DataPacket {
 /// `duration` carries the frame's Duration/NAV field: the time the medium
 /// will remain reserved *after this frame ends*, which overhearing nodes
 /// load into their NAV.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Frame {
     /// Frame type.
     pub kind: FrameKind,

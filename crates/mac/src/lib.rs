@@ -24,7 +24,9 @@
 //! metrics.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+// Unwraps and exact float comparisons are idiomatic in test assertions.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
 mod backoff;
 mod counters;

@@ -1,7 +1,5 @@
 //! The network allocation vector (virtual carrier sense).
 
-use serde::{Deserialize, Serialize};
-
 use dirca_sim::{SimDuration, SimTime};
 
 /// Virtual carrier sense: the latest instant up to which overheard frames
@@ -19,7 +17,7 @@ use dirca_sim::{SimDuration, SimTime};
 /// assert!(nav.is_busy(SimTime::from_micros(120)));
 /// assert!(!nav.is_busy(SimTime::from_micros(150)));
 /// ```
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Nav {
     until: SimTime,
 }

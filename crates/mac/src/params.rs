@@ -1,7 +1,5 @@
 //! Protocol configuration parameters (Table 1 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 use dirca_sim::SimDuration;
 
 use crate::{Frame, FrameKind};
@@ -23,7 +21,7 @@ use crate::{Frame, FrameKind};
 /// // An RTS takes sync (192 µs) + 20 B × 8 / 2 Mbps = 192 + 80 = 272 µs.
 /// assert_eq!(p.frame_airtime_bytes(p.rts_bytes).as_nanos(), 272_000);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dot11Params {
     /// Channel bit rate in bits per second.
     pub bit_rate_bps: u64,

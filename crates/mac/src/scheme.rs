@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::FrameKind;
 
 /// Which frames of the four-way handshake are transmitted directionally.
@@ -19,7 +17,7 @@ use crate::FrameKind;
 /// assert!(!Scheme::DrtsOcts.is_directional(FrameKind::Cts));
 /// assert!(Scheme::DrtsOcts.is_directional(FrameKind::Data));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// All transmissions omni-directional (standard IEEE 802.11 DCF).
     OrtsOcts,

@@ -1,0 +1,290 @@
+//! Protocol-aware runtime invariant auditors for [`NetWorld`] (feature
+//! `audit`).
+//!
+//! Each auditor implements [`dirca_sim::audit::Auditor`] and panics with a
+//! message prefixed `audit[<name>]:` at the first violation it observes.
+//! Install them on a [`Simulation`](dirca_sim::Simulation) *before the
+//! first event is processed* — the airtime auditor in particular integrates
+//! transmit time from the very start of the run and will (correctly) flag a
+//! run it only observed partway.
+//!
+//! [`NavAuditor`] and [`AirtimeAuditor`] read the world's frame trace, so
+//! the world must have [`NetWorld::enable_trace`] switched on.
+
+use dirca_mac::{DcfMac, FrameKind};
+use dirca_sim::audit::Auditor;
+use dirca_sim::{Scheduler, SimDuration, SimTime};
+
+use crate::world::TraceEntry;
+use crate::{NetEvent, NetWorld};
+
+/// The full standard set: causality, NAV consistency, transceiver
+/// legality, and airtime conservation.
+///
+/// The world must have tracing enabled (see the module docs).
+pub fn standard_auditors() -> Vec<Box<dyn Auditor<NetWorld>>> {
+    vec![
+        Box::new(dirca_sim::audit::CausalityAuditor::new()),
+        Box::new(NavAuditor::new()),
+        Box::new(TransceiverAuditor::new()),
+        Box::new(AirtimeAuditor::new()),
+    ]
+}
+
+fn trace_of(world: &NetWorld, who: &str) -> usize {
+    match world.trace() {
+        Some(trace) => trace.len(),
+        None => panic!("audit[{who}]: NetWorld::enable_trace must be on before auditing"),
+    }
+}
+
+/// NAV consistency: no node ever initiates an RTS while its own virtual
+/// carrier sense says the medium is reserved.
+///
+/// The sender-side contention path unconditionally defers to the NAV
+/// ([`DcfMac`] refuses to arm backoff while it is busy), so an RTS on the
+/// air during a reservation means the MAC's deferral logic is broken.
+/// SIFS-spaced responses (CTS, DATA, ACK) are exempt: they happen inside
+/// the reservation their own handshake established, and IEEE 802.11
+/// explicitly excludes them from virtual carrier sense.
+#[derive(Debug, Default)]
+pub struct NavAuditor {
+    seen: usize,
+}
+
+impl NavAuditor {
+    /// Creates the auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks one trace entry against the transmitting MAC's NAV, panicking
+    /// on a violation. Exposed so tests can exercise the rule on corrupted
+    /// state directly.
+    pub fn check_entry(entry: &TraceEntry, mac: &DcfMac) {
+        if entry.frame.kind == FrameKind::Rts && mac.nav().is_busy(entry.time) {
+            panic!(
+                "audit[nav]: {} transmitted an RTS at {} while its NAV was reserved until {}",
+                mac.id(),
+                entry.time,
+                mac.nav().until()
+            );
+        }
+    }
+}
+
+impl Auditor<NetWorld> for NavAuditor {
+    fn after_event(&mut self, _now: SimTime, world: &NetWorld, _sched: &Scheduler<NetEvent>) {
+        let len = trace_of(world, "nav");
+        if let Some(trace) = world.trace() {
+            for entry in &trace[self.seen..] {
+                Self::check_entry(entry, &world.macs()[entry.frame.src.0]);
+            }
+        }
+        self.seen = len;
+    }
+}
+
+/// Transceiver state-machine legality: every `SignalEnd` matches an earlier
+/// `SignalStart`, `TxEnd` arrives exactly when the frame's airtime elapses
+/// and only while the PHY is transmitting, and no node starts a second
+/// transmission while its first is still on the air (half-duplex).
+#[derive(Debug, Default)]
+pub struct TransceiverAuditor {
+    /// `(dst, signal id)` pairs whose leading edge arrived but whose
+    /// trailing edge has not.
+    in_flight: std::collections::BTreeSet<(usize, u64)>,
+    /// Scheduled end of each node's transmission in progress.
+    tx_until: Vec<Option<SimTime>>,
+    /// Node whose `TxEnd` is being dispatched (set in `before_event`,
+    /// resolved in `after_event`).
+    ending: Option<usize>,
+    seen: usize,
+}
+
+impl TransceiverAuditor {
+    /// Creates the auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_nodes(&mut self, world: &NetWorld) {
+        if self.tx_until.len() < world.transceivers().len() {
+            self.tx_until.resize(world.transceivers().len(), None);
+        }
+    }
+}
+
+impl Auditor<NetWorld> for TransceiverAuditor {
+    fn before_event(&mut self, now: SimTime, event: &NetEvent, world: &NetWorld) {
+        self.ensure_nodes(world);
+        match event {
+            NetEvent::SignalStart { dst, id, .. } => {
+                assert!(
+                    self.in_flight.insert((dst.0, id.0)),
+                    "audit[transceiver]: duplicate leading edge of signal {id:?} at {dst} ({now})"
+                );
+            }
+            NetEvent::SignalEnd { dst, id, .. } => {
+                assert!(
+                    self.in_flight.remove(&(dst.0, id.0)),
+                    "audit[transceiver]: trailing edge of signal {id:?} at {dst} without a \
+                     leading edge ({now})"
+                );
+            }
+            NetEvent::TxEnd { node } => {
+                let until = self.tx_until[node.0];
+                assert!(
+                    until == Some(now),
+                    "audit[transceiver]: TxEnd for {node} at {now} but its transmission ends at \
+                     {until:?}"
+                );
+                assert!(
+                    world.transceivers()[node.0].is_transmitting(),
+                    "audit[transceiver]: TxEnd for {node} at {now} while its PHY is not \
+                     transmitting"
+                );
+                self.ending = Some(node.0);
+            }
+            NetEvent::MacTimer { .. } | NetEvent::Arrival { .. } => {}
+        }
+    }
+
+    fn after_event(&mut self, now: SimTime, world: &NetWorld, _sched: &Scheduler<NetEvent>) {
+        if let Some(node) = self.ending.take() {
+            assert!(
+                !world.transceivers()[node].is_transmitting(),
+                "audit[transceiver]: node {node} still transmitting after its TxEnd ({now})"
+            );
+            self.tx_until[node] = None;
+        }
+        // New transmissions appear in the trace at the instant they start.
+        if let Some(trace) = world.trace() {
+            for entry in &trace[self.seen..] {
+                let src = entry.frame.src.0;
+                assert!(
+                    self.tx_until[src].is_none(),
+                    "audit[transceiver]: {} began a transmission at {} while one was already \
+                     on the air until {:?} (half-duplex violation)",
+                    entry.frame.src,
+                    entry.time,
+                    self.tx_until[src]
+                );
+                self.tx_until[src] = Some(entry.time + world.params().frame_airtime(&entry.frame));
+            }
+            self.seen = trace.len();
+        }
+        // The shadow state and the PHY must agree between events.
+        for (n, phy) in world.transceivers().iter().enumerate() {
+            let shadow = self.tx_until[n].is_some();
+            assert!(
+                shadow == phy.is_transmitting(),
+                "audit[transceiver]: node {n} shadow transmit state {shadow} disagrees with \
+                 the PHY at {now}"
+            );
+        }
+    }
+}
+
+/// Per-node airtime conservation: integrated over the whole run, the time
+/// each PHY reports spending in transmission plus the time it reports idle
+/// must equal the elapsed simulated time, and the transmit share must
+/// exactly equal the summed airtime of the frames the node put on the air
+/// (as derived independently from the frame trace and the PHY timing
+/// parameters).
+///
+/// This cross-checks three things that are computed through separate code
+/// paths — `TxEnd` scheduling, `frame_airtime`, and the PHY transmit flag —
+/// and fires on any disagreement, e.g. a `TxEnd` scheduled with the wrong
+/// duration.
+#[derive(Debug, Default)]
+pub struct AirtimeAuditor {
+    last: SimTime,
+    busy: Vec<SimDuration>,
+    idle: Vec<SimDuration>,
+    /// Airtime the trace says each node transmitted.
+    declared: Vec<SimDuration>,
+    /// Scheduled end of each node's transmission in progress, to discount
+    /// the unelapsed tail of an in-flight frame at `finish` time.
+    tx_until: Vec<Option<SimTime>>,
+    seen: usize,
+}
+
+impl AirtimeAuditor {
+    /// Creates the auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_nodes(&mut self, world: &NetWorld) {
+        let n = world.transceivers().len();
+        if self.busy.len() < n {
+            self.busy.resize(n, SimDuration::ZERO);
+            self.idle.resize(n, SimDuration::ZERO);
+            self.declared.resize(n, SimDuration::ZERO);
+            self.tx_until.resize(n, None);
+        }
+    }
+
+    /// Adds the interval since the last observation to each node's busy or
+    /// idle account, according to its current PHY state (PHY state only
+    /// changes inside event handlers, so it is constant over the interval).
+    fn integrate(&mut self, now: SimTime, world: &NetWorld) {
+        let dt = now.saturating_duration_since(self.last);
+        if dt > SimDuration::ZERO {
+            for (n, phy) in world.transceivers().iter().enumerate() {
+                if phy.is_transmitting() {
+                    self.busy[n] += dt;
+                } else {
+                    self.idle[n] += dt;
+                }
+            }
+        }
+        self.last = now;
+    }
+}
+
+impl Auditor<NetWorld> for AirtimeAuditor {
+    fn before_event(&mut self, now: SimTime, _event: &NetEvent, world: &NetWorld) {
+        self.ensure_nodes(world);
+        self.integrate(now, world);
+    }
+
+    fn after_event(&mut self, _now: SimTime, world: &NetWorld, _sched: &Scheduler<NetEvent>) {
+        let len = trace_of(world, "airtime");
+        if let Some(trace) = world.trace() {
+            for entry in &trace[self.seen..] {
+                let src = entry.frame.src.0;
+                let airtime = world.params().frame_airtime(&entry.frame);
+                self.declared[src] += airtime;
+                self.tx_until[src] = Some(entry.time + airtime);
+            }
+        }
+        self.seen = len;
+    }
+
+    fn finish(&mut self, now: SimTime, world: &NetWorld) {
+        self.ensure_nodes(world);
+        self.integrate(now, world);
+        for n in 0..self.busy.len() {
+            let elapsed = now.saturating_duration_since(SimTime::ZERO);
+            assert!(
+                self.busy[n] + self.idle[n] == elapsed,
+                "audit[airtime]: node {n} busy {:?} + idle {:?} != elapsed {elapsed:?}",
+                self.busy[n],
+                self.idle[n]
+            );
+            // Discount the tail of a frame still on the air at `now`.
+            let mut declared = self.declared[n];
+            if let Some(until) = self.tx_until[n] {
+                declared -= until.saturating_duration_since(now);
+            }
+            assert!(
+                self.busy[n] == declared,
+                "audit[airtime]: node {n} PHY-integrated transmit time {:?} != trace-declared \
+                 airtime {declared:?}",
+                self.busy[n]
+            );
+        }
+    }
+}

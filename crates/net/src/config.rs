@@ -1,14 +1,12 @@
 //! Experiment configuration.
 
-use serde::{Deserialize, Serialize};
-
 use dirca_geometry::Beamwidth;
 use dirca_mac::{Dot11Params, MacConfig, Scheme};
 use dirca_radio::ReceptionMode;
 use dirca_sim::SimDuration;
 
 /// How each node's traffic source behaves.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TrafficModel {
     /// Always backlogged (the paper's experiments): a fresh packet to a
     /// random neighbour whenever the MAC runs dry.
@@ -43,7 +41,7 @@ pub enum TrafficModel {
 ///     .with_measure(SimDuration::from_secs(5));
 /// assert_eq!(cfg.scheme, Scheme::DrtsDcts);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Which collision-avoidance scheme the MACs run.
     pub scheme: Scheme,

@@ -29,8 +29,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+// Unwraps and exact float comparisons are idiomatic in test assertions.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
+#[cfg(feature = "audit")]
+pub mod audit;
 mod config;
 mod result;
 mod world;

@@ -1,14 +1,12 @@
 //! Result collection and aggregate metrics.
 
-use serde::{Deserialize, Serialize};
-
 use dirca_mac::MacCounters;
 use dirca_sim::SimDuration;
 
 use crate::{AirtimeBreakdown, NetWorld};
 
 /// One node's measured statistics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NodeReport {
     /// Node index.
     pub node: usize,
@@ -37,7 +35,7 @@ impl NodeReport {
 }
 
 /// The outcome of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Per-node reports, indexed by node id.
     pub nodes: Vec<NodeReport>,

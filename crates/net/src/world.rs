@@ -70,7 +70,7 @@ pub struct TraceEntry {
 /// Airtime a node spent transmitting, split by frame kind — the direct
 /// measurement of the paper's "time spent coordinating vs sending data"
 /// argument.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AirtimeBreakdown {
     /// Airtime spent on RTS frames.
     pub rts: dirca_sim::SimDuration,
@@ -273,6 +273,17 @@ impl NetWorld {
     /// Number of leading nodes inside the measurement region.
     pub fn measured(&self) -> usize {
         self.measured
+    }
+
+    /// The per-node transceivers (read-only; used by the runtime invariant
+    /// auditors to cross-check PHY state against the event stream).
+    pub fn transceivers(&self) -> &[Transceiver] {
+        &self.phys
+    }
+
+    /// The PHY/MAC timing parameters in force.
+    pub fn params(&self) -> &Dot11Params {
+        &self.params
     }
 
     /// Dispatches a MAC callback for `node` with a fully wired context.

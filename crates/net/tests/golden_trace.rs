@@ -5,6 +5,9 @@
 //! frame airtimes (sync + serialization), propagation delay, and the SIFS
 //! gaps — against hand-computed values from Table 1.
 
+// Unwraps and exact float comparisons are idiomatic in test assertions.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use dirca_mac::{FrameKind, Scheme};
 use dirca_net::{NetWorld, SimConfig, TrafficModel};
 use dirca_radio::NodeId;

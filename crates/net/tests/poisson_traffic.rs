@@ -1,5 +1,8 @@
 //! Tests of the unsaturated (Poisson) traffic model.
 
+// Unwraps and exact float comparisons are idiomatic in test assertions.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
 use dirca_mac::Scheme;
 use dirca_net::{run, SimConfig, TrafficModel};
 use dirca_sim::SimDuration;
@@ -24,11 +27,15 @@ fn config(scheme: Scheme, pps: f64) -> SimConfig {
 fn light_load_is_carried_losslessly() {
     // 10 packets/s/node × 2 nodes × 11 680 bits ≈ 234 kbit/s offered —
     // well under capacity: carried load must match offered load closely
-    // and nothing may be dropped.
+    // and nothing may be dropped. The window must be long enough for the
+    // 15% tolerance to be a ≥3σ bound on the Poisson count (20 s ⇒ 400
+    // expected packets, σ = 20, tolerance = 60 packets).
     let topo = fixtures::pair(0.5, 1.0);
-    let result = run(&topo, &config(Scheme::OrtsOcts, 10.0));
+    let mut cfg = config(Scheme::OrtsOcts, 10.0);
+    cfg.measure = SimDuration::from_secs(20);
+    let result = run(&topo, &cfg);
     let offered = 2.0 * 10.0;
-    let carried = result.packets_acked() as f64 / 5.0;
+    let carried = result.packets_acked() as f64 / 20.0;
     assert_eq!(result.queue_drops(), 0, "queue drops under light load");
     assert_eq!(result.packets_dropped(), 0);
     assert!(

@@ -3,15 +3,13 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use dirca_geometry::{Angle, Beamwidth, Point, Sector};
 use dirca_sim::SimDuration;
 
 use crate::NodeId;
 
 /// The spatial footprint of one transmission.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TxPattern {
     /// Omni-directional: covers the full disk of radius `R` around the
     /// transmitter.
@@ -97,7 +95,7 @@ impl Error for ChannelError {}
 /// assert_eq!(chan.covered_by(NodeId(0), beam)?, vec![NodeId(1)]);
 /// # Ok::<(), dirca_radio::ChannelError>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Channel {
     positions: Vec<Point>,
     range: f64,

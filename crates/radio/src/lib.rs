@@ -23,7 +23,9 @@
 //! wires it to the discrete-event loop.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+// Unwraps and exact float comparisons are idiomatic in test assertions.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
 mod channel;
 mod transceiver;
@@ -31,11 +33,10 @@ mod transceiver;
 pub use channel::{Channel, ChannelError, TxPattern};
 pub use transceiver::{ReceptionMode, RxEndReport, SignalId, Transceiver};
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a node, an index into the channel's position table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub usize);
 
 impl fmt::Display for NodeId {

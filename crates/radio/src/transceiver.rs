@@ -1,17 +1,15 @@
 //! Per-node receiver logic: collision-on-overlap decoding, carrier sense,
 //! and the deaf-while-transmitting rule.
 
-use serde::{Deserialize, Serialize};
-
 use dirca_geometry::{Angle, Beamwidth};
 use dirca_sim::SimTime;
 
 /// Identifier of one transmission (one frame in flight on the channel).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SignalId(pub u64);
 
 /// How the node's receive chain treats simultaneous arrivals.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ReceptionMode {
     /// The paper's baseline: reception is omni-directional, so any two
     /// overlapping arrivals destroy each other.
@@ -51,7 +49,7 @@ pub struct RxEndReport {
     pub medium_idle_after: bool,
 }
 
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 struct Arrival {
     id: SignalId,
     heading: Angle,
@@ -59,7 +57,7 @@ struct Arrival {
     end: SimTime,
 }
 
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 struct Candidate {
     id: SignalId,
     heading: Angle,
@@ -95,7 +93,7 @@ struct Candidate {
 /// assert!(report.delivered);
 /// assert!(report.medium_idle_after);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Transceiver {
     mode: ReceptionMode,
     transmitting: bool,
@@ -138,6 +136,14 @@ impl Transceiver {
     /// transmission state).
     pub fn energy_arriving(&self) -> bool {
         !self.arrivals.is_empty()
+    }
+
+    /// The latest trailing edge among the signals currently arriving, or
+    /// `None` when no energy is on the air. Incoming energy keeps the
+    /// carrier busy until at least this instant (later arrivals can extend
+    /// it further).
+    pub fn energy_until(&self) -> Option<SimTime> {
+        self.arrivals.iter().map(|a| a.end).max()
     }
 
     /// The node starts transmitting. Any frame being decoded is lost (a
@@ -448,6 +454,19 @@ mod tests {
     #[test]
     fn mode_accessor() {
         assert_eq!(omni().mode(), ReceptionMode::Omni);
+    }
+
+    #[test]
+    fn energy_until_tracks_latest_trailing_edge() {
+        let mut rx = omni();
+        assert_eq!(rx.energy_until(), None);
+        rx.signal_arrives(SignalId(1), east(), t(10));
+        rx.signal_arrives(SignalId(2), west(), t(25));
+        assert_eq!(rx.energy_until(), Some(t(25)));
+        rx.signal_ends(SignalId(2));
+        assert_eq!(rx.energy_until(), Some(t(10)));
+        rx.signal_ends(SignalId(1));
+        assert_eq!(rx.energy_until(), None);
     }
 
     #[test]

@@ -59,6 +59,11 @@ impl<E> Scheduler<E> {
     pub fn pending(&self) -> usize {
         self.queue.len()
     }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
 }
 
 /// A discrete-event simulation: a [`World`] plus the event loop state.
@@ -69,6 +74,8 @@ pub struct Simulation<W: World> {
     world: W,
     scheduler: Scheduler<W::Event>,
     processed: u64,
+    #[cfg(feature = "audit")]
+    auditors: Vec<Box<dyn crate::audit::Auditor<W>>>,
 }
 
 impl<W: World> Simulation<W> {
@@ -79,6 +86,25 @@ impl<W: World> Simulation<W> {
             world,
             scheduler: Scheduler::new(),
             processed: 0,
+            #[cfg(feature = "audit")]
+            auditors: Vec::new(),
+        }
+    }
+
+    /// Installs a runtime invariant auditor; it observes every event
+    /// dispatched from now on and panics on the first violation.
+    #[cfg(feature = "audit")]
+    pub fn add_auditor(&mut self, auditor: Box<dyn crate::audit::Auditor<W>>) {
+        self.auditors.push(auditor);
+    }
+
+    /// Runs every installed auditor's end-of-run check (whole-run
+    /// conservation laws). Call after the last `run_until`.
+    #[cfg(feature = "audit")]
+    pub fn finish_audit(&mut self) {
+        let now = self.scheduler.now;
+        for auditor in &mut self.auditors {
+            auditor.finish(now, &self.world);
         }
     }
 
@@ -134,9 +160,7 @@ impl<W: World> Simulation<W> {
             }
             let (time, event) = self.scheduler.queue.pop().expect("peeked event vanished");
             debug_assert!(time >= self.scheduler.now, "event queue went backwards");
-            self.scheduler.now = time;
-            self.world.handle(time, event, &mut self.scheduler);
-            self.processed += 1;
+            self.dispatch(time, event);
         }
         if deadline != SimTime::MAX {
             self.scheduler.now = deadline;
@@ -156,10 +180,25 @@ impl<W: World> Simulation<W> {
     /// queue was empty.
     pub fn step(&mut self) -> Option<SimTime> {
         let (time, event) = self.scheduler.queue.pop()?;
+        self.dispatch(time, event);
+        Some(time)
+    }
+
+    /// Advances the clock to `time` and hands `event` to the world,
+    /// running the auditor hooks around the dispatch when the `audit`
+    /// feature is enabled.
+    fn dispatch(&mut self, time: SimTime, event: W::Event) {
         self.scheduler.now = time;
+        #[cfg(feature = "audit")]
+        for auditor in &mut self.auditors {
+            auditor.before_event(time, &event, &self.world);
+        }
         self.world.handle(time, event, &mut self.scheduler);
         self.processed += 1;
-        Some(time)
+        #[cfg(feature = "audit")]
+        for auditor in &mut self.auditors {
+            auditor.after_event(time, &self.world, &self.scheduler);
+        }
     }
 }
 

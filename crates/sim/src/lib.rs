@@ -39,13 +39,20 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+// Unwraps and exact float comparisons are idiomatic in test assertions.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
+// The engine never indexes unchecked: feasible here, so gate it.
+#![warn(clippy::indexing_slicing)]
+#![cfg_attr(test, allow(clippy::indexing_slicing))]
 
 mod engine;
 mod queue;
 mod time;
 mod timer;
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod rng;
 
 pub use engine::{Scheduler, Simulation, World};

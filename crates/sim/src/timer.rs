@@ -5,10 +5,8 @@
 //! re-arming) a timer bumps the generation, and stale firings are discarded
 //! on arrival. [`TimerSlot`] packages that idiom.
 
-use serde::{Deserialize, Serialize};
-
 /// An opaque generation token identifying one arming of a [`TimerSlot`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerGeneration(u64);
 
 /// A logical timer that can be armed, cancelled, and checked against firing
@@ -26,7 +24,7 @@ pub struct TimerGeneration(u64);
 /// assert!(timer.fires(g2));      // the g2 event is live ...
 /// assert!(!timer.fires(g2));     // ... exactly once
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimerSlot {
     generation: u64,
     armed: bool,

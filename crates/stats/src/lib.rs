@@ -8,7 +8,9 @@
 //!   discussion in §4.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+// Unwraps and exact float comparisons are idiomatic in test assertions.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
 mod histogram;
 mod summary;
@@ -36,7 +38,8 @@ pub fn jain_index(allocations: &[f64]) -> Option<f64> {
     }
     let sum: f64 = allocations.iter().sum();
     let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
-    if sum_sq == 0.0 {
+    // A sum of squares is non-negative, so this is an exact zero guard.
+    if sum_sq <= 0.0 {
         return None;
     }
     Some(sum * sum / (allocations.len() as f64 * sum_sq))

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Streaming mean, variance, min, and max over a sequence of samples
 /// (Welford's online algorithm — numerically stable, O(1) memory).
 ///
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.min(), Some(2.0));
 /// assert_eq!(s.max(), Some(9.0));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Summary {
     count: u64,
     mean: f64,

@@ -14,7 +14,9 @@
 //! deterministic fixtures ([`fixtures`]) for tests and examples.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+// Unwraps and exact float comparisons are idiomatic in test assertions.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
 pub mod fixtures;
 pub mod io;
@@ -25,13 +27,12 @@ pub use ring::{RingSpec, RingTopologyError};
 
 use dirca_geometry::{sample, Point};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A generated node layout.
 ///
 /// `positions[i]` is node `i`'s location; the first [`Topology::measured`]
 /// nodes are the ones whose MAC statistics the experiments report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     /// Node positions.
     pub positions: Vec<Point>,

@@ -4,7 +4,6 @@ use std::error::Error;
 use std::fmt;
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use dirca_geometry::{sample, Point};
 
@@ -35,7 +34,7 @@ use crate::Topology;
 /// assert_eq!(topo.measured, 5);
 /// # Ok::<(), dirca_topology::RingTopologyError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RingSpec {
     /// Average neighbourhood size `N`; also the inner node count.
     pub n_avg: usize,

@@ -1,0 +1,261 @@
+//! The runtime invariant auditors: each must stay silent on a healthy
+//! (golden) run and fire on corrupted state.
+//!
+//! These tests enable the `audit` features of `dirca-sim`, `dirca-net`,
+//! and `dirca-analysis` through this package's dev-dependencies; normal
+//! builds compile none of the auditing code.
+
+use dirca_analysis::{markov_audit, steady_state, ChainInput};
+use dirca_mac::{DataPacket, Dot11Params, Frame, MacConfig, MacContext, Scheme, TimerKind};
+use dirca_net::audit::{standard_auditors, AirtimeAuditor, NavAuditor, TransceiverAuditor};
+use dirca_net::{NetEvent, NetWorld, SimConfig, TraceEntry};
+use dirca_radio::{NodeId, SignalId};
+use dirca_sim::audit::{Auditor, CausalityAuditor};
+use dirca_sim::{SimDuration, SimTime, Simulation, TimerGeneration};
+use dirca_topology::fixtures;
+
+fn quick(scheme: Scheme, seed: u64) -> SimConfig {
+    SimConfig::new(scheme)
+        .with_seed(seed)
+        .with_warmup(SimDuration::from_millis(50))
+        .with_measure(SimDuration::from_millis(400))
+}
+
+/// Builds a primed, trace-enabled simulation of `scheme` on the
+/// hidden-terminal fixture.
+fn audited_sim(scheme: Scheme, seed: u64) -> Simulation<NetWorld> {
+    let topo = fixtures::hidden_terminal();
+    let mut world = NetWorld::build(&topo, &quick(scheme, seed));
+    world.enable_trace();
+    let mut sim = Simulation::new(world);
+    {
+        let (world, sched) = sim.world_and_scheduler_mut();
+        world.prime(sched);
+    }
+    sim
+}
+
+// ---------------------------------------------------------------------
+// Golden runs: every auditor observes a healthy simulation end to end and
+// must not fire.
+// ---------------------------------------------------------------------
+
+#[test]
+fn all_auditors_silent_on_golden_runs() {
+    for scheme in Scheme::ALL {
+        let mut sim = audited_sim(scheme, 11);
+        for auditor in standard_auditors() {
+            sim.add_auditor(auditor);
+        }
+        sim.run_until(SimTime::from_millis(500));
+        sim.finish_audit();
+        assert!(sim.world().macs().iter().any(|m| m.counters().rts_tx > 0));
+    }
+}
+
+#[test]
+fn auditors_silent_on_directional_parallel_pairs() {
+    let topo = fixtures::parallel_pairs();
+    let mut world = NetWorld::build(
+        &topo,
+        &quick(Scheme::DrtsDcts, 3).with_beamwidth_degrees(30.0),
+    );
+    world.enable_trace();
+    let mut sim = Simulation::new(world);
+    {
+        let (world, sched) = sim.world_and_scheduler_mut();
+        world.prime(sched);
+    }
+    for auditor in standard_auditors() {
+        sim.add_auditor(auditor);
+    }
+    sim.run_until(SimTime::from_millis(500));
+    sim.finish_audit();
+}
+
+// ---------------------------------------------------------------------
+// Causality.
+// ---------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "audit[causality]")]
+fn causality_auditor_fires_on_backwards_clock() {
+    let world = NetWorld::build(&fixtures::pair(0.5, 1.0), &quick(Scheme::OrtsOcts, 1));
+    let mut auditor = CausalityAuditor::new();
+    let event = NetEvent::Arrival { node: NodeId(0) };
+    Auditor::<NetWorld>::before_event(&mut auditor, SimTime::from_micros(50), &event, &world);
+    // A later dispatch carrying an earlier timestamp: corrupted ordering.
+    Auditor::<NetWorld>::before_event(&mut auditor, SimTime::from_micros(10), &event, &world);
+}
+
+// ---------------------------------------------------------------------
+// NAV consistency.
+// ---------------------------------------------------------------------
+
+/// A minimal MacContext: enough to drive a DcfMac into a corrupted-looking
+/// state without a full network behind it.
+struct NullCtx {
+    now: SimTime,
+}
+
+impl MacContext for NullCtx {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn carrier_busy(&self) -> bool {
+        false
+    }
+    fn transmit(&mut self, _frame: Frame, _directional: bool) {}
+    fn schedule_timer(&mut self, _kind: TimerKind, _gen: TimerGeneration, _delay: SimDuration) {}
+    fn draw_backoff_slots(&mut self, _cw: u32) -> u32 {
+        0
+    }
+    fn deliver(&mut self, _frame: &Frame) {}
+    fn packet_done(&mut self, _packet: DataPacket, _success: bool) {}
+}
+
+#[test]
+#[should_panic(expected = "audit[nav]")]
+fn nav_auditor_fires_on_rts_inside_reservation() {
+    let params = Dot11Params::default();
+    let mut mac = dirca_mac::DcfMac::new(
+        NodeId(0),
+        Scheme::OrtsOcts,
+        params.clone(),
+        MacConfig::default(),
+    );
+    // Overhear a third-party RTS: the MAC reserves its NAV for the
+    // announced duration.
+    let overheard = Frame::rts(NodeId(1), NodeId(2), 1460, &params);
+    let mut ctx = NullCtx {
+        now: SimTime::from_micros(100),
+    };
+    mac.on_frame_received(overheard, &mut ctx);
+    assert!(mac.nav().is_busy(SimTime::from_micros(150)));
+    // A trace entry claiming this node sent an RTS mid-reservation is a
+    // deferral bug; the auditor must call it out.
+    let entry = TraceEntry {
+        time: SimTime::from_micros(150),
+        frame: Frame::rts(NodeId(0), NodeId(1), 1460, &params),
+        directional: false,
+    };
+    NavAuditor::check_entry(&entry, &mac);
+}
+
+#[test]
+fn nav_auditor_silent_on_rts_after_expiry() {
+    let params = Dot11Params::default();
+    let mut mac = dirca_mac::DcfMac::new(
+        NodeId(0),
+        Scheme::OrtsOcts,
+        params.clone(),
+        MacConfig::default(),
+    );
+    let overheard = Frame::rts(NodeId(1), NodeId(2), 1460, &params);
+    let mut ctx = NullCtx {
+        now: SimTime::from_micros(100),
+    };
+    mac.on_frame_received(overheard, &mut ctx);
+    let entry = TraceEntry {
+        time: mac.nav().until(), // the reservation is half-open: free again
+        frame: Frame::rts(NodeId(0), NodeId(1), 1460, &params),
+        directional: false,
+    };
+    NavAuditor::check_entry(&entry, &mac);
+}
+
+// ---------------------------------------------------------------------
+// Transceiver state-machine legality.
+// ---------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "audit[transceiver]")]
+fn transceiver_auditor_fires_on_orphan_signal_end() {
+    let world = NetWorld::build(&fixtures::pair(0.5, 1.0), &quick(Scheme::OrtsOcts, 1));
+    let mut auditor = TransceiverAuditor::new();
+    let params = world.params().clone();
+    // A trailing edge whose leading edge never happened.
+    let event = NetEvent::SignalEnd {
+        dst: NodeId(1),
+        id: SignalId(9),
+        frame: Frame::rts(NodeId(0), NodeId(1), 1460, &params),
+    };
+    auditor.before_event(SimTime::from_micros(10), &event, &world);
+}
+
+#[test]
+#[should_panic(expected = "audit[transceiver]")]
+fn transceiver_auditor_fires_on_txend_without_transmission() {
+    let world = NetWorld::build(&fixtures::pair(0.5, 1.0), &quick(Scheme::OrtsOcts, 1));
+    let mut auditor = TransceiverAuditor::new();
+    let event = NetEvent::TxEnd { node: NodeId(0) };
+    auditor.before_event(SimTime::from_micros(10), &event, &world);
+}
+
+// ---------------------------------------------------------------------
+// Airtime conservation.
+// ---------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "audit[airtime]")]
+fn airtime_auditor_fires_when_installed_mid_run() {
+    // The auditor integrates PHY transmit time from simulated time zero; a
+    // run it only observed partway has trace-declared airtime it never saw
+    // on the PHY, and the conservation check must fail rather than report
+    // a bogus balance.
+    let mut sim = audited_sim(Scheme::OrtsOcts, 5);
+    sim.run_until(SimTime::from_millis(100));
+    sim.add_auditor(Box::new(AirtimeAuditor::new()));
+    sim.run_until(SimTime::from_millis(120));
+    sim.finish_audit();
+}
+
+// ---------------------------------------------------------------------
+// Markov-chain stochasticity.
+// ---------------------------------------------------------------------
+
+fn chain(p_ww: f64, p_ws: f64) -> ChainInput {
+    ChainInput {
+        p_ww,
+        p_ws,
+        t_succeed: 119.0,
+        t_fail: 12.0,
+        l_data: 100.0,
+    }
+}
+
+#[test]
+fn markov_audit_silent_on_valid_chain() {
+    let input = chain(0.9, 0.05);
+    // With the audit feature on, steady_state self-checks every solve.
+    let ss = steady_state(&input);
+    markov_audit::assert_stochastic(&markov_audit::transition_matrix(&input));
+    markov_audit::assert_fixed_point(&input, &ss);
+}
+
+#[test]
+#[should_panic(expected = "audit[markov]")]
+fn markov_audit_fires_on_non_stochastic_row() {
+    // Row 0 sums to 1.2: not a probability distribution.
+    let m = [[0.9, 0.2, 0.1], [1.0, 0.0, 0.0], [1.0, 0.0, 0.0]];
+    markov_audit::assert_stochastic(&m);
+}
+
+#[test]
+#[should_panic(expected = "audit[markov]")]
+fn markov_audit_fires_on_negative_probability() {
+    let m = [[1.1, -0.1, 0.0], [1.0, 0.0, 0.0], [1.0, 0.0, 0.0]];
+    markov_audit::assert_stochastic(&m);
+}
+
+#[test]
+#[should_panic(expected = "audit[markov]")]
+fn markov_audit_fires_on_fake_fixed_point() {
+    let input = chain(0.9, 0.05);
+    let mut ss = steady_state(&input);
+    // Shift probability mass between states: still sums to one, but no
+    // longer a fixed point of the transition matrix.
+    ss.wait -= 0.05;
+    ss.fail += 0.05;
+    markov_audit::assert_fixed_point(&input, &ss);
+}

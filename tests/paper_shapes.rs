@@ -10,8 +10,12 @@ use dirca::mac::Scheme;
 use dirca::sim::SimDuration;
 
 fn cell(scheme: Scheme, n: usize, theta: f64) -> RingExperiment {
+    // Per-topology variance is large (full-scale min–max ranges span ~10×),
+    // so the sample must be big enough for the orderings to be stable: 14
+    // topologies keeps each cell under a few seconds while separating the
+    // scheme means well beyond their standard errors.
     RingExperiment {
-        topologies: 6,
+        topologies: 14,
         warmup: SimDuration::from_millis(200),
         measure: SimDuration::from_secs(3),
         ..RingExperiment::paper(scheme, n, theta)

@@ -1,0 +1,155 @@
+//! Vendored stand-in for the subset of the `criterion` 0.7 API used by the
+//! workspace benches.
+//!
+//! The build environment has no access to crates.io. This shim keeps every
+//! `[[bench]]` target compiling and runnable: it measures wall-clock time
+//! with `std::time::Instant` over a fixed number of timed iterations and
+//! prints a one-line median per benchmark. No warm-up modeling, outlier
+//! rejection, plotting, or statistical analysis — run real criterion for
+//! publishable numbers.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Number of timed samples per benchmark (each sample is one `iter` call).
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as a standalone benchmark named `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, f: F) {
+        run_one("", name.as_ref(), DEFAULT_SAMPLES, f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Prints the closing summary; part of the real API via
+    /// `criterion_main!`.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs `f` as a benchmark named `name` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, f: F) {
+        run_one(&self.name, name.as_ref(), self.samples, f);
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; drives the timed iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    median_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut times: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed().as_nanos());
+        }
+        times.sort_unstable();
+        self.median_ns = times.get(times.len() / 2).copied().unwrap_or(0);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, name: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples,
+        median_ns: 0,
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    println!(
+        "bench {label:<40} median {:>12.3} µs ({samples} samples)",
+        bencher.median_ns as f64 / 1000.0
+    );
+}
+
+/// Collects benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => {
+        $crate::criterion_group!($group, $($rest)*);
+    };
+}
+
+/// Emits `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("inner", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran >= 3, "bencher must run the routine");
+    }
+}
