@@ -4,3 +4,7 @@
 //! reproduced experiment (`bench_fig5`, `bench_fig6` covering Figs. 6/7
 //! whose runs are shared, `bench_analysis` for the model ablations) plus
 //! `bench_engine` micro-benchmarks of the simulation substrate.
+//!
+//! The `dirca-bench` binary (`src/main.rs`) is the pinned-seed harness:
+//! it times the quick paper grid end to end and writes
+//! `BENCH_paper_grid.json` at the repository root.

@@ -1,0 +1,207 @@
+//! `dirca-bench`: the pinned-seed performance harness.
+//!
+//! Runs the quick profile of the paper's Figs. 6/7 ring grid (every
+//! `(N, θ, scheme)` cell at 4 topologies each, master seed `0xD1CA`) plus
+//! two engine micro-benchmarks, and writes the measurements to
+//! `BENCH_paper_grid.json` at the repository root:
+//!
+//! ```text
+//! cargo run --release -p dirca-bench            # default output path
+//! cargo run --release -p dirca-bench -- --out /tmp/bench.json --threads 4
+//! ```
+//!
+//! The workload is deterministic — identical seeds, topologies, and event
+//! streams on every invocation — so run-to-run differences in the JSON are
+//! pure wall-clock noise, and two checkouts can be compared by running the
+//! harness on each. Wall-clock timing itself is the *point* of this
+//! binary, which is why the `dirca-audit` static rules exempt the bench
+//! crate from the `std::time` ban that covers the deterministic core.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use dirca_experiments::ringsim::{paper_grid, run_cell, RingExperiment};
+use dirca_mac::Scheme;
+use dirca_net::{run, SimConfig};
+use dirca_sim::{EventQueue, SimDuration, SimTime};
+use dirca_topology::RingSpec;
+
+/// Master seed shared with the `paper_grid` experiment binary.
+const SEED: u64 = 0xD1CA;
+
+fn main() {
+    let (out_path, threads) = parse_args();
+    let mut cells = Vec::new();
+
+    eprintln!("dirca-bench: quick paper grid, {threads} threads, seed {SEED:#x}");
+    let grid_start = Instant::now();
+    for (n_avg, theta, scheme) in paper_grid() {
+        let experiment = RingExperiment::quick(scheme, n_avg, theta);
+        let cell_start = Instant::now();
+        let outcome = run_cell(&experiment, threads);
+        let wall_ms = cell_start.elapsed().as_secs_f64() * 1e3;
+        eprintln!("  {scheme:?} N={n_avg} θ={theta:>5.1}°: {wall_ms:7.1} ms");
+        cells.push(CellRow {
+            scheme,
+            n_avg,
+            theta,
+            wall_ms,
+            throughput_mean: outcome.throughput.mean().unwrap_or(0.0),
+        });
+    }
+    let grid_wall_ms = grid_start.elapsed().as_secs_f64() * 1e3;
+
+    let engine = engine_microbench();
+    let queue_ns = queue_microbench();
+    eprintln!(
+        "  grid {grid_wall_ms:.0} ms | engine {:.2} Mev/s, {:.0} ns/transmit | queue {queue_ns:.1} ns/cycle",
+        engine.events_per_sec / 1e6,
+        engine.ns_per_transmit
+    );
+
+    let json = render_json(threads, grid_wall_ms, &cells, &engine, queue_ns);
+    std::fs::write(&out_path, json).expect("failed to write benchmark report");
+    eprintln!("dirca-bench: wrote {out_path}");
+}
+
+/// Parses `--out <path>` and `--threads <n>` (both optional).
+fn parse_args() -> (String, usize) {
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_paper_grid.json");
+    let mut out = default_out.to_string();
+    let mut threads = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = args.next().expect("--out requires a path");
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads requires a positive integer");
+            }
+            other => panic!("unrecognized flag {other:?} (expected --out or --threads)"),
+        }
+    }
+    assert!(threads > 0, "--threads requires a positive integer");
+    (out, threads)
+}
+
+/// One measured grid cell.
+struct CellRow {
+    scheme: Scheme,
+    n_avg: usize,
+    theta: f64,
+    wall_ms: f64,
+    throughput_mean: f64,
+}
+
+/// End-to-end engine throughput on one pinned quick-profile workload.
+struct EngineBench {
+    events: u64,
+    frames: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+    ns_per_transmit: f64,
+}
+
+/// Simulates the densest quick cell's four topologies single-threaded and
+/// reports raw event throughput and per-frame cost.
+fn engine_microbench() -> EngineBench {
+    let spec = RingSpec::paper(8, 1.0);
+    let mut topologies = Vec::new();
+    for t in 0..4u64 {
+        let mut rng = dirca_sim::rng::stream_rng(dirca_sim::rng::derive_seed(SEED, 0xA11CE), t);
+        topologies.push(spec.generate(&mut rng).expect("ring topology generation"));
+    }
+    let config = SimConfig::new(Scheme::DrtsDcts)
+        .with_beamwidth_degrees(30.0)
+        .with_seed(1)
+        .with_warmup(SimDuration::from_millis(100))
+        .with_measure(SimDuration::from_secs(1));
+
+    let start = Instant::now();
+    let mut events = 0u64;
+    let mut frames = 0u64;
+    for topology in &topologies {
+        let result = run(topology, &config);
+        events += result.events_processed();
+        let c = result.aggregate_counters();
+        frames += c.rts_tx + c.cts_tx + c.data_tx + c.ack_tx;
+    }
+    let wall = start.elapsed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    EngineBench {
+        events,
+        frames,
+        wall_ms,
+        events_per_sec: events as f64 / wall.as_secs_f64(),
+        ns_per_transmit: wall.as_secs_f64() * 1e9 / frames as f64,
+    }
+}
+
+/// Times pop+push cycles on a steady-state ~400-entry event heap with
+/// near-future deadlines, the access pattern the simulator produces.
+fn queue_microbench() -> f64 {
+    let mut q = EventQueue::new();
+    let mut horizon = 0u64;
+    for i in 0..400u64 {
+        q.push(SimTime::from_nanos(i * 131 % 50_000), i);
+    }
+    let cycles = 1_000_000u64;
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..cycles {
+        let (t, v) = q.pop().expect("queue stays non-empty");
+        acc = acc.wrapping_add(v);
+        horizon = horizon.max(t.as_nanos());
+        q.push(SimTime::from_nanos(horizon + (i * 977) % 40_000), i);
+    }
+    black_box(acc);
+    start.elapsed().as_secs_f64() * 1e9 / cycles as f64
+}
+
+/// Renders the report by hand; the workspace deliberately has no JSON
+/// dependency.
+fn render_json(
+    threads: usize,
+    grid_wall_ms: f64,
+    cells: &[CellRow],
+    engine: &EngineBench,
+    queue_ns: f64,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"dirca-bench/paper-grid/v1\",\n");
+    s.push_str("  \"profile\": \"quick\",\n");
+    let _ = writeln!(s, "  \"seed\": {SEED},");
+    let _ = writeln!(s, "  \"threads\": {threads},");
+    let _ = writeln!(s, "  \"grid_wall_ms\": {grid_wall_ms:.1},");
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"scheme\": \"{:?}\", \"n_avg\": {}, \"theta_deg\": {:.1}, \
+             \"wall_ms\": {:.1}, \"throughput_mean\": {:.6}}}{comma}",
+            c.scheme, c.n_avg, c.theta, c.wall_ms, c.throughput_mean
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"engine\": {\n");
+    let _ = writeln!(
+        s,
+        "    \"workload\": \"DrtsDcts N=8 theta=30 x4 topologies, 1s measure\","
+    );
+    let _ = writeln!(s, "    \"events\": {},", engine.events);
+    let _ = writeln!(s, "    \"frames\": {},", engine.frames);
+    let _ = writeln!(s, "    \"wall_ms\": {:.1},", engine.wall_ms);
+    let _ = writeln!(s, "    \"events_per_sec\": {:.0},", engine.events_per_sec);
+    let _ = writeln!(s, "    \"ns_per_transmit\": {:.1}", engine.ns_per_transmit);
+    s.push_str("  },\n");
+    let _ = writeln!(s, "  \"event_queue_ns_per_cycle\": {queue_ns:.1}");
+    s.push_str("}\n");
+    s
+}

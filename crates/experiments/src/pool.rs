@@ -3,9 +3,13 @@
 //! Experiment cells fan independent per-topology simulations out over a
 //! small thread pool. Aggregating floating-point summaries in
 //! thread-completion order would make the final statistics depend on the
-//! scheduler (f64 addition is not associative), so workers return indexed
-//! samples and the caller folds them in index order — results are
-//! byte-identical for any `threads` value.
+//! scheduler (f64 addition is not associative), so workers deposit results
+//! into pre-sized per-index slots and the caller reads them out in index
+//! order — results are byte-identical for any `threads` value.
+//!
+//! Each index has its own slot lock, so workers writing different results
+//! never contend with each other (the old design funnelled every result
+//! through one shared `Mutex<Vec<_>>` and sorted at the end).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -24,7 +28,9 @@ where
 {
     let threads = threads.clamp(1, count.max(1));
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(count));
+    // One slot per index: each is written exactly once, by whichever worker
+    // claimed that index, so the per-slot locks are uncontended.
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -33,18 +39,20 @@ where
                     break;
                 }
                 let value = job(i);
-                slots
-                    .lock()
-                    .expect("a sibling worker panicked while aggregating")
-                    .push((i, value));
+                *slots[i].lock().expect("slot writer never panics mid-store") = Some(value);
             });
         }
     });
-    let mut slots = slots
-        .into_inner()
-        .expect("a worker panicked while aggregating");
-    slots.sort_by_key(|&(i, _)| i);
-    slots.into_iter().map(|(_, v)| v).collect()
+    // A job panic propagates out of the scope above, so reaching this point
+    // means every claimed index stored its value.
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("a worker panicked while storing its result")
+                .expect("every index below count is claimed exactly once")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -64,5 +72,20 @@ mod tests {
     fn zero_count_yields_empty() {
         let got: Vec<u32> = parallel_indexed(0, 4, |_| unreachable!("no work"));
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn large_fanout_fills_every_slot_in_order() {
+        let got = parallel_indexed(1000, 8, |i| i);
+        assert_eq!(got.len(), 1000);
+        assert!(got.iter().enumerate().all(|(want, &i)| i == want));
+    }
+
+    #[test]
+    fn non_clone_results_are_moved_through_slots() {
+        // Results only need `Send`: the slots move values, never clone them.
+        struct NotClone(usize);
+        let got = parallel_indexed(10, 3, NotClone);
+        assert!(got.iter().enumerate().all(|(want, v)| v.0 == want));
     }
 }

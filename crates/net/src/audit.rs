@@ -85,10 +85,15 @@ impl Auditor<NetWorld> for NavAuditor {
     }
 }
 
-/// Transceiver state-machine legality: every `SignalEnd` matches an earlier
-/// `SignalStart`, `TxEnd` arrives exactly when the frame's airtime elapses
-/// and only while the PHY is transmitting, and no node starts a second
-/// transmission while its first is still on the air (half-duplex).
+/// Transceiver state-machine legality: at every covered receiver a
+/// `WaveEnd` trailing edge matches an earlier `WaveStart` leading edge,
+/// `TxEnd` arrives exactly when the frame's airtime elapses and only while
+/// the PHY is transmitting, and no node starts a second transmission while
+/// its first is still on the air (half-duplex).
+///
+/// Waves are expanded per receiver through [`NetWorld::wave_targets`] —
+/// the same footprint the event handler walks — so the auditor tracks the
+/// exact `(receiver, signal)` pairs the world delivers edges to.
 #[derive(Debug, Default)]
 pub struct TransceiverAuditor {
     /// `(dst, signal id)` pairs whose leading edge arrived but whose
@@ -119,18 +124,33 @@ impl Auditor<NetWorld> for TransceiverAuditor {
     fn before_event(&mut self, now: SimTime, event: &NetEvent, world: &NetWorld) {
         self.ensure_nodes(world);
         match event {
-            NetEvent::SignalStart { dst, id, .. } => {
-                assert!(
-                    self.in_flight.insert((dst.0, id.0)),
-                    "audit[transceiver]: duplicate leading edge of signal {id:?} at {dst} ({now})"
-                );
+            NetEvent::WaveStart {
+                src,
+                id,
+                frame,
+                directional,
+            } => {
+                for dst in world.wave_targets(*src, frame.dst, *directional) {
+                    assert!(
+                        self.in_flight.insert((dst.0, id.0)),
+                        "audit[transceiver]: duplicate leading edge of signal {id:?} at {dst} \
+                         ({now})"
+                    );
+                }
             }
-            NetEvent::SignalEnd { dst, id, .. } => {
-                assert!(
-                    self.in_flight.remove(&(dst.0, id.0)),
-                    "audit[transceiver]: trailing edge of signal {id:?} at {dst} without a \
-                     leading edge ({now})"
-                );
+            NetEvent::WaveEnd {
+                src,
+                id,
+                frame,
+                directional,
+            } => {
+                for dst in world.wave_targets(*src, frame.dst, *directional) {
+                    assert!(
+                        self.in_flight.remove(&(dst.0, id.0)),
+                        "audit[transceiver]: trailing edge of signal {id:?} at {dst} without a \
+                         leading edge ({now})"
+                    );
+                }
             }
             NetEvent::TxEnd { node } => {
                 let until = self.tx_until[node.0];

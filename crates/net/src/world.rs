@@ -3,9 +3,9 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use dirca_geometry::{Angle, Beamwidth};
+use dirca_geometry::Beamwidth;
 use dirca_mac::{DataPacket, DcfMac, Dot11Params, Frame, FrameKind, MacContext, TimerKind};
-use dirca_radio::{Channel, NodeId, SignalId, Transceiver, TxPattern};
+use dirca_radio::{Channel, CoveragePlan, NodeId, SignalId, Transceiver, TxPattern};
 use dirca_sim::{rng::stream_rng, Scheduler, SimTime, TimerGeneration, World};
 use dirca_topology::Topology;
 
@@ -13,27 +13,39 @@ use crate::config::TrafficModel;
 use crate::SimConfig;
 
 /// Events flowing through the network simulation.
+///
+/// Signal propagation is batched per transmission: one
+/// [`NetEvent::WaveStart`]/[`NetEvent::WaveEnd`] pair carries a frame's
+/// leading and trailing edges to *every* covered receiver, and the handler
+/// walks the precomputed footprint in ascending node-id order. Heap traffic
+/// per frame is O(1) instead of O(receivers), and the per-receiver
+/// processing order is exactly that of the unbatched formulation: the
+/// per-receiver edge events always formed a contiguous same-timestamp
+/// block in ascending id order, with anything scheduled by their handlers
+/// sequenced after the whole block.
 #[derive(Debug, Clone)]
 pub enum NetEvent {
-    /// The leading edge of a transmission reaches `dst`.
-    SignalStart {
-        /// Receiving node.
-        dst: NodeId,
+    /// The leading edge of a transmission reaches every covered receiver.
+    WaveStart {
+        /// Transmitting node.
+        src: NodeId,
         /// Transmission identity.
         id: SignalId,
         /// The frame being carried (delivered if decoding succeeds).
         frame: Frame,
-        /// Bearing of the incoming energy as seen from `dst`.
-        heading: Angle,
+        /// Whether the transmission was beamformed (aimed at `frame.dst`).
+        directional: bool,
     },
-    /// The trailing edge of a transmission passes `dst`.
-    SignalEnd {
-        /// Receiving node.
-        dst: NodeId,
+    /// The trailing edge of a transmission passes every covered receiver.
+    WaveEnd {
+        /// Transmitting node.
+        src: NodeId,
         /// Transmission identity.
         id: SignalId,
         /// The frame carried by the transmission.
         frame: Frame,
+        /// Whether the transmission was beamformed (aimed at `frame.dst`).
+        directional: bool,
     },
     /// `node`'s own transmission leaves the air.
     TxEnd {
@@ -127,6 +139,7 @@ pub struct AppStats {
 #[derive(Debug)]
 pub struct NetWorld {
     channel: Channel,
+    plan: CoveragePlan,
     macs: Vec<DcfMac>,
     phys: Vec<Transceiver>,
     rngs: Vec<SmallRng>,
@@ -140,6 +153,13 @@ pub struct NetWorld {
     measured: usize,
     next_signal: u64,
     trace: Option<Vec<TraceEntry>>,
+    /// Event-queue capacity hint applied at [`NetWorld::prime`] time (the
+    /// expected steady-state event population, sized at build).
+    expected_events: usize,
+    /// Reusable wave-target buffer: the event handler copies a wave's
+    /// covered slice here before walking it (isolating the borrow from the
+    /// MAC callbacks), so the steady state performs no allocation.
+    scratch: Vec<NodeId>,
 }
 
 impl NetWorld {
@@ -169,13 +189,22 @@ impl NetWorld {
             .collect();
         let phys = (0..n).map(|_| Transceiver::new(config.reception)).collect();
         let rngs = (0..n).map(|i| stream_rng(config.seed, i as u64)).collect();
+        let plan = CoveragePlan::new(&channel, config.beamwidth);
+        let neighbors = topology.adjacency();
+        // Expected steady-state event population: per handshake a node puts
+        // 4 frames on the air, each costing one TxEnd plus one batched
+        // WaveStart/WaveEnd pair, with roughly one armed MAC timer per node
+        // on top. Reserving this up front keeps the event queue from
+        // re-growing mid-run.
+        let expected_events = n * (1 + 4 * 3);
         NetWorld {
             channel,
+            plan,
             macs,
             phys,
             rngs,
             app: vec![AppStats::default(); n],
-            neighbors: topology.adjacency(),
+            neighbors,
             params: config.params.clone(),
             beamwidth: config.beamwidth,
             data_bytes: config.data_bytes,
@@ -184,6 +213,8 @@ impl NetWorld {
             measured: topology.measured,
             next_signal: 0,
             trace: None,
+            expected_events,
+            scratch: Vec::with_capacity(n),
         }
     }
 
@@ -225,6 +256,7 @@ impl NetWorld {
     /// sources get their first packet immediately (and are refilled
     /// forever); Poisson sources get their first arrival scheduled.
     pub fn prime(&mut self, sched: &mut Scheduler<NetEvent>) {
+        sched.reserve(self.expected_events);
         match self.traffic {
             TrafficModel::Saturated => {
                 for i in 0..self.macs.len() {
@@ -300,7 +332,6 @@ impl NetWorld {
             rngs,
             app,
             params,
-            beamwidth,
             next_signal,
             trace,
             record_delays,
@@ -312,7 +343,6 @@ impl NetWorld {
             phy: &mut phys[node.0],
             channel,
             params,
-            beamwidth: *beamwidth,
             rng: &mut rngs[node.0],
             next_signal,
             app: &mut app[node.0],
@@ -374,6 +404,54 @@ impl NetWorld {
         let pick = self.rngs[node.0].random_range(0..self.neighbors[node.0].len());
         NodeId(self.neighbors[node.0][pick])
     }
+
+    /// Receivers covered by a wave from `src` (aimed at `aim` when
+    /// `directional`), in ascending id order — the exact set the event
+    /// handler walks. Allocates; intended for auditors and tests, not the
+    /// hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `aim` is out of range.
+    pub fn wave_targets(&self, src: NodeId, aim: NodeId, directional: bool) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.fill_wave_targets(src, aim, directional, &mut out);
+        out
+    }
+
+    /// Fills `out` with the receivers covered by a transmission from `src`
+    /// (aimed at `aim` when `directional`), in ascending id order.
+    ///
+    /// The precomputed plan answers every aim inside the transmitter's
+    /// neighbourhood without trigonometry or allocation beyond the copy
+    /// into `out`; a scripted aim at an out-of-range peer has no
+    /// precomputed footprint and falls back to the reference
+    /// implementation.
+    fn fill_wave_targets(
+        &self,
+        src: NodeId,
+        aim: NodeId,
+        directional: bool,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        if !directional {
+            out.extend_from_slice(self.plan.neighbors(src));
+        } else if let Some(slice) = self.plan.directional_coverage(src, aim) {
+            out.extend_from_slice(slice);
+        } else {
+            let from = self
+                .channel
+                .position(src)
+                .expect("transmitter position must exist");
+            let to = self.channel.position(aim).expect("aim position must exist");
+            let covered = self
+                .channel
+                .covered_by(src, TxPattern::aimed(from, to, self.beamwidth))
+                .expect("transmitter id must be valid");
+            out.extend_from_slice(&covered);
+        }
+    }
 }
 
 /// Samples an exponential inter-arrival interval with the given rate
@@ -389,33 +467,47 @@ impl World for NetWorld {
 
     fn handle(&mut self, now: SimTime, event: NetEvent, sched: &mut Scheduler<NetEvent>) {
         match event {
-            NetEvent::SignalStart {
-                dst,
+            NetEvent::WaveStart {
+                src,
                 id,
                 frame,
-                heading,
+                directional,
             } => {
                 let end = now + self.params.frame_airtime(&frame);
-                let distance = self
-                    .channel
-                    .distance(dst, frame.src)
-                    .expect("signal endpoints exist");
-                let became_busy = self.phys[dst.0].signal_arrives_at(id, heading, distance, end);
-                if became_busy {
-                    self.with_mac(dst, sched, |mac, ctx| mac.on_medium_busy(ctx));
+                let mut wave = std::mem::take(&mut self.scratch);
+                self.fill_wave_targets(src, frame.dst, directional, &mut wave);
+                for &dst in &wave {
+                    let heading = self.plan.heading(dst, src);
+                    let distance = self.plan.distance(dst, src);
+                    let became_busy =
+                        self.phys[dst.0].signal_arrives_at(id, heading, distance, end);
+                    if became_busy {
+                        self.with_mac(dst, sched, |mac, ctx| mac.on_medium_busy(ctx));
+                    }
                 }
+                self.scratch = wave;
             }
-            NetEvent::SignalEnd { dst, id, frame } => {
-                let report = self.phys[dst.0].signal_ends(id);
-                if report.delivered {
-                    self.with_mac(dst, sched, |mac, ctx| mac.on_frame_received(frame, ctx));
-                } else if report.corrupted {
-                    self.with_mac(dst, sched, |mac, ctx| mac.on_rx_corrupted(ctx));
+            NetEvent::WaveEnd {
+                src,
+                id,
+                frame,
+                directional,
+            } => {
+                let mut wave = std::mem::take(&mut self.scratch);
+                self.fill_wave_targets(src, frame.dst, directional, &mut wave);
+                for &dst in &wave {
+                    let report = self.phys[dst.0].signal_ends(id);
+                    if report.delivered {
+                        self.with_mac(dst, sched, |mac, ctx| mac.on_frame_received(frame, ctx));
+                    } else if report.corrupted {
+                        self.with_mac(dst, sched, |mac, ctx| mac.on_rx_corrupted(ctx));
+                    }
+                    if report.medium_idle_after {
+                        self.with_mac(dst, sched, |mac, ctx| mac.on_medium_idle(ctx));
+                    }
+                    self.refill(dst, sched);
                 }
-                if report.medium_idle_after {
-                    self.with_mac(dst, sched, |mac, ctx| mac.on_medium_idle(ctx));
-                }
-                self.refill(dst, sched);
+                self.scratch = wave;
             }
             NetEvent::TxEnd { node } => {
                 self.phys[node.0].end_transmit();
@@ -423,8 +515,16 @@ impl World for NetWorld {
                 self.refill(node, sched);
             }
             NetEvent::MacTimer { node, kind, gen } => {
-                self.with_mac(node, sched, |mac, ctx| mac.on_timer(kind, gen, ctx));
-                self.refill(node, sched);
+                // A cancelled or superseded arming is a state no-op: the MAC
+                // discards it by generation, and the traffic refill that
+                // follows a live dispatch can have nothing to do (any event
+                // that drains a backlog refills it before returning). Skip
+                // the context plumbing for those, they are roughly a third
+                // of all dispatched events under contention.
+                if self.macs[node.0].is_timer_live(kind, gen) {
+                    self.with_mac(node, sched, |mac, ctx| mac.on_timer(kind, gen, ctx));
+                    self.refill(node, sched);
+                }
             }
             NetEvent::Arrival { node } => {
                 self.poisson_arrival(node, sched);
@@ -440,7 +540,6 @@ struct Ctx<'a> {
     phy: &'a mut Transceiver,
     channel: &'a Channel,
     params: &'a Dot11Params,
-    beamwidth: Beamwidth,
     rng: &'a mut SmallRng,
     next_signal: &'a mut u64,
     app: &'a mut AppStats,
@@ -472,19 +571,6 @@ impl MacContext for Ctx<'_> {
             FrameKind::Data => self.app.airtime.data += duration,
             FrameKind::Ack => self.app.airtime.ack += duration,
         }
-        let pattern = if directional {
-            let from = self
-                .channel
-                .position(self.node)
-                .expect("own position must exist");
-            let to = self
-                .channel
-                .position(frame.dst)
-                .expect("peer position must exist");
-            TxPattern::aimed(from, to, self.beamwidth)
-        } else {
-            TxPattern::Omni
-        };
         self.phy.begin_transmit();
         self.sched
             .schedule_in(duration, NetEvent::TxEnd { node: self.node });
@@ -492,27 +578,28 @@ impl MacContext for Ctx<'_> {
         let id = SignalId(*self.next_signal);
         *self.next_signal += 1;
         let prop = self.channel.propagation_delay();
-        let covered = self
-            .channel
-            .covered_by(self.node, pattern)
-            .expect("transmitter id must be valid");
-        for dst in covered {
-            let heading = self
-                .channel
-                .heading(dst, self.node)
-                .expect("covered node must exist");
-            self.sched.schedule_in(
-                prop,
-                NetEvent::SignalStart {
-                    dst,
-                    id,
-                    frame,
-                    heading,
-                },
-            );
-            self.sched
-                .schedule_in(duration + prop, NetEvent::SignalEnd { dst, id, frame });
-        }
+        // Hot path: one batched wave pair per frame. The handler walks the
+        // precomputed footprint with cached headings and distances, so heap
+        // traffic stays O(1) per transmission regardless of how many
+        // receivers the wave covers.
+        self.sched.schedule_in(
+            prop,
+            NetEvent::WaveStart {
+                src: self.node,
+                id,
+                frame,
+                directional,
+            },
+        );
+        self.sched.schedule_in(
+            duration + prop,
+            NetEvent::WaveEnd {
+                src: self.node,
+                id,
+                frame,
+                directional,
+            },
+        );
     }
 
     fn schedule_timer(

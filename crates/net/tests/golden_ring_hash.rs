@@ -1,0 +1,76 @@
+//! Recorded golden ring traces: the full frame trace of one seeded random
+//! ring run per scheme, pinned by FNV-1a hash.
+//!
+//! The determinism test (`determinism.rs`) proves two same-seed runs agree
+//! with *each other*; this test pins them against values recorded before
+//! the precomputed-coverage fast path landed (PR 2), proving the cached
+//! transmit path reproduces the reference `Channel::covered_by` path
+//! byte-for-byte. If a deliberate behaviour change invalidates these
+//! hashes, re-record them with `cargo test -p dirca-net --test
+//! golden_ring_hash -- --nocapture print_current_hashes --ignored`.
+
+use dirca_mac::Scheme;
+use dirca_net::{NetWorld, SimConfig};
+use dirca_sim::rng::stream_rng;
+use dirca_sim::{SimTime, Simulation};
+use dirca_topology::RingSpec;
+
+/// FNV-1a over the debug-serialized frame trace.
+fn ring_trace_hash(scheme: Scheme, seed: u64) -> u64 {
+    let spec = RingSpec::paper(5, 1.0);
+    let mut topo_rng = stream_rng(seed, 0xA11CE);
+    let topology = spec.generate(&mut topo_rng).expect("ring topology");
+    let config = SimConfig::new(scheme)
+        .with_seed(seed)
+        .with_beamwidth_degrees(30.0);
+    let mut world = NetWorld::build(&topology, &config);
+    world.enable_trace();
+    let mut sim = Simulation::new(world);
+    {
+        let (world, sched) = sim.world_and_scheduler_mut();
+        world.prime(sched);
+    }
+    sim.run_until(SimTime::from_millis(400));
+    let world = sim.into_world();
+    let trace = world.trace().expect("trace enabled");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{trace:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// (scheme, seed, FNV-1a of the trace) recorded on the pre-fast-path tree.
+const RECORDED: &[(Scheme, u64, u64)] = &[
+    (Scheme::OrtsOcts, 7, 0xe4d2_1263_1a44_5525),
+    (Scheme::OrtsOcts, 21, 0x12d8_5da6_451d_a8af),
+    (Scheme::DrtsDcts, 7, 0x2996_f717_dc7f_4175),
+    (Scheme::DrtsDcts, 21, 0xaddc_d313_d5fc_6531),
+    (Scheme::DrtsOcts, 7, 0xb224_28fd_d601_3676),
+    (Scheme::DrtsOcts, 21, 0x3e5c_4317_2f31_0d37),
+];
+
+#[test]
+fn ring_traces_match_recorded_golden_hashes() {
+    for &(scheme, seed, want) in RECORDED {
+        let got = ring_trace_hash(scheme, seed);
+        assert_eq!(
+            got, want,
+            "{scheme} seed {seed}: trace diverged from the recorded golden run"
+        );
+    }
+}
+
+#[test]
+#[ignore = "recording helper: prints the current hashes for RECORDED"]
+fn print_current_hashes() {
+    for scheme in Scheme::ALL {
+        for seed in [7u64, 21] {
+            println!(
+                "    (Scheme::{scheme:?}, {seed}, 0x{:016x}),",
+                ring_trace_hash(scheme, seed)
+            );
+        }
+    }
+}

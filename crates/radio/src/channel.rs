@@ -212,7 +212,7 @@ mod tests {
                 Point::new(0.0, 0.0),  // 0
                 Point::new(0.9, 0.0),  // 1: east of 0
                 Point::new(0.0, 0.9),  // 2: north of 0
-                Point::new(2.5, 0.0), // 3: out of range of 0, in range of 1... (1.6 > 1, actually out)
+                Point::new(2.5, 0.0),  // 3: out of range of everyone (2.5 from 0, 1.6 from 1)
                 Point::new(-0.5, 0.0), // 4: west of 0
             ],
             1.0,

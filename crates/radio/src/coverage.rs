@@ -1,0 +1,399 @@
+//! Precomputed coverage plans for static geometry.
+//!
+//! Node positions, the range `R`, and the beamwidth θ are immutable for
+//! the lifetime of a simulation run, yet the per-frame transmit path asks
+//! the same spatial questions — who does this beam cover, and from which
+//! bearing does the energy arrive — millions of times. A [`CoveragePlan`]
+//! answers them from tables built once at world-construction time:
+//!
+//! * the pairwise **distance and heading matrices**,
+//! * per-node **omni neighbour lists**, and
+//! * per-(src, aimed-at dst) **directional coverage sets** — fully
+//!   determined once the beamwidth is fixed, because an aimed beam's
+//!   boresight is the src→dst heading.
+//!
+//! All coverage sets live as id-sorted slices in one shared arena, so a
+//! lookup is two index reads and returns a borrowed `&[NodeId]`: the hot
+//! path performs no trigonometry and no heap allocation. Every set is
+//! computed *by* the reference implementation ([`Channel::covered_by`] /
+//! [`Channel::heading`] / [`Channel::distance`]), so plan lookups are
+//! equal to reference queries by construction; the property tests in
+//! `tests/coverage_plan.rs` pin that equivalence across random topologies
+//! and beamwidths.
+
+use dirca_geometry::{Angle, Beamwidth};
+
+use crate::channel::{Channel, TxPattern};
+use crate::NodeId;
+
+/// Sentinel arena offset marking a (src, dst) pair with no precomputed
+/// directional set (dst outside src's omni neighbourhood).
+const NO_SLICE: u32 = u32::MAX;
+
+/// Precomputed spatial tables for one immutable [`Channel`] + beamwidth.
+///
+/// # Example
+///
+/// ```
+/// use dirca_geometry::{Beamwidth, Point};
+/// use dirca_radio::{Channel, CoveragePlan, NodeId, TxPattern};
+/// use dirca_sim::SimDuration;
+///
+/// let chan = Channel::new(
+///     vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0), Point::new(0.0, 0.7)],
+///     1.0,
+///     SimDuration::from_micros(1),
+/// )?;
+/// let beam = Beamwidth::from_degrees(30.0).unwrap();
+/// let plan = CoveragePlan::new(&chan, beam);
+/// // Omni neighbourhoods match the reference query...
+/// assert_eq!(plan.neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+/// // ...and so does the footprint of a beam aimed 0 → 1.
+/// let aimed = TxPattern::aimed(
+///     chan.position(NodeId(0))?,
+///     chan.position(NodeId(1))?,
+///     beam,
+/// );
+/// assert_eq!(
+///     plan.directional_coverage(NodeId(0), NodeId(1)).unwrap(),
+///     chan.covered_by(NodeId(0), aimed)?.as_slice(),
+/// );
+/// # Ok::<(), dirca_radio::ChannelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoveragePlan {
+    n: usize,
+    beamwidth: Beamwidth,
+    /// Row-major `n × n` distance matrix (`dist[a·n + b]` = |a − b|).
+    dist: Vec<f64>,
+    /// Row-major `n × n` heading matrix (`heading[a·n + b]` = bearing
+    /// a → b).
+    heading: Vec<Angle>,
+    /// `n + 1` arena offsets delimiting each node's omni neighbour slice.
+    omni_offsets: Vec<u32>,
+    /// Row-major `n × n` arena ranges of the directional coverage sets;
+    /// `(NO_SLICE, NO_SLICE)` where none was precomputed.
+    dir_ranges: Vec<(u32, u32)>,
+    /// The shared slice arena: omni neighbour lists first, directional
+    /// coverage sets after (both in ascending id order).
+    arena: Vec<NodeId>,
+}
+
+impl CoveragePlan {
+    /// Builds the plan for `channel` with directional sets computed at
+    /// `beamwidth`.
+    ///
+    /// Directional sets are precomputed for every (src, dst) pair where
+    /// `dst` lies in src's omni neighbourhood — the only aims a MAC can
+    /// produce, since frames address reachable peers. Aims at out-of-range
+    /// destinations fall back to `None` from
+    /// [`CoveragePlan::directional_coverage`] and the caller re-derives the
+    /// footprint through the reference path.
+    ///
+    /// Cost: O(n²) trig for the matrices plus O(Σ deg(src) · n) sector
+    /// tests for the directional sets — paid once per run, never on the
+    /// per-frame path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel holds ≥ `u32::MAX` nodes (the arena uses
+    /// 32-bit offsets; a simulated channel is orders of magnitude smaller).
+    pub fn new(channel: &Channel, beamwidth: Beamwidth) -> Self {
+        let n = channel.len();
+        assert!(
+            (n as u64) < u64::from(u32::MAX),
+            "coverage plan supports fewer than u32::MAX nodes"
+        );
+        let mut dist = Vec::with_capacity(n * n);
+        let mut heading = Vec::with_capacity(n * n);
+        for a in 0..n {
+            for b in 0..n {
+                let (a, b) = (NodeId(a), NodeId(b));
+                dist.push(channel.distance(a, b).expect("node ids are in range"));
+                heading.push(channel.heading(a, b).expect("node ids are in range"));
+            }
+        }
+
+        let mut arena: Vec<NodeId> = Vec::new();
+        let mut omni_offsets = Vec::with_capacity(n + 1);
+        omni_offsets.push(0u32);
+        for src in 0..n {
+            let covered = channel
+                .covered_by(NodeId(src), TxPattern::Omni)
+                .expect("node ids are in range");
+            arena.extend_from_slice(&covered);
+            omni_offsets.push(arena_offset(arena.len()));
+        }
+
+        // Directional footprints. A beam shares the omni disk's exact
+        // distance bound (`Sector::contains` and `TxPattern::covers` both
+        // test `d² ≤ R² + EPSILON`), so its coverage is a subset of the
+        // transmitter's omni neighbourhood: filtering the neighbour slice
+        // through the reference predicate yields exactly
+        // `Channel::covered_by` for the aimed pattern, at O(deg) instead of
+        // O(n) per aim.
+        let mut dir_ranges = vec![(NO_SLICE, NO_SLICE); n * n];
+        let range = channel.range();
+        for src in 0..n {
+            let omni_range = (omni_offsets[src] as usize)..(omni_offsets[src + 1] as usize);
+            let origin = channel.position(NodeId(src)).expect("src id is in range");
+            for slot in omni_range.clone() {
+                let dst = arena[slot];
+                let pattern = TxPattern::aimed(
+                    origin,
+                    channel.position(dst).expect("dst id is in range"),
+                    beamwidth,
+                );
+                // Append the filtered footprint to the arena, then roll it
+                // back if the beam turned out to cover the whole
+                // neighbourhood (wide θ or a degenerate layout) — aliasing
+                // src's omni slice keeps the arena compact.
+                let start = arena.len();
+                for neighbor_slot in omni_range.clone() {
+                    let p = arena[neighbor_slot];
+                    let covered = pattern.covers(
+                        origin,
+                        range,
+                        channel.position(p).expect("neighbour id is in range"),
+                    );
+                    if covered {
+                        arena.push(p);
+                    }
+                }
+                let slice = if arena.len() - start == omni_range.len() {
+                    arena.truncate(start);
+                    (omni_offsets[src], omni_offsets[src + 1])
+                } else {
+                    (arena_offset(start), arena_offset(arena.len()))
+                };
+                dir_ranges[src * n + dst.0] = slice;
+            }
+        }
+
+        CoveragePlan {
+            n,
+            beamwidth,
+            dist,
+            heading,
+            omni_offsets,
+            dir_ranges,
+            arena,
+        }
+    }
+
+    /// Number of nodes covered by the plan.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The beamwidth the directional sets were computed at.
+    pub fn beamwidth(&self) -> Beamwidth {
+        self.beamwidth
+    }
+
+    /// Total arena entries (a size diagnostic for tests and tooling).
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Cached distance |a − b|, equal to [`Channel::distance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[inline]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        assert!(a.0 < self.n && b.0 < self.n, "node id out of range");
+        self.dist[a.0 * self.n + b.0]
+    }
+
+    /// Cached bearing `from` → `to`, equal to [`Channel::heading`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[inline]
+    pub fn heading(&self, from: NodeId, to: NodeId) -> Angle {
+        assert!(from.0 < self.n && to.0 < self.n, "node id out of range");
+        self.heading[from.0 * self.n + to.0]
+    }
+
+    /// The omni neighbourhood of `id` in ascending id order, equal to
+    /// [`Channel::neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        let start = self.omni_offsets[id.0] as usize;
+        let end = self.omni_offsets[id.0 + 1] as usize;
+        &self.arena[start..end]
+    }
+
+    /// The footprint of a beam from `src` aimed at `dst` at the plan's
+    /// beamwidth, in ascending id order — equal to [`Channel::covered_by`]
+    /// with [`TxPattern::aimed`]. Returns `None` when `dst` is outside
+    /// src's omni neighbourhood (no aim was precomputed); callers fall
+    /// back to the reference query for those cold cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[inline]
+    pub fn directional_coverage(&self, src: NodeId, dst: NodeId) -> Option<&[NodeId]> {
+        assert!(src.0 < self.n && dst.0 < self.n, "node id out of range");
+        let (start, end) = self.dir_ranges[src.0 * self.n + dst.0];
+        if start == NO_SLICE {
+            return None;
+        }
+        Some(&self.arena[start as usize..end as usize])
+    }
+}
+
+/// Narrows an arena length to the 32-bit offset type.
+fn arena_offset(len: usize) -> u32 {
+    u32::try_from(len).expect("arena stays below u32::MAX entries")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirca_geometry::Point;
+    use dirca_sim::SimDuration;
+
+    fn chan(points: Vec<Point>) -> Channel {
+        Channel::new(points, 1.0, SimDuration::from_micros(1)).unwrap()
+    }
+
+    fn cross() -> Channel {
+        chan(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.9, 0.0),
+            Point::new(0.0, 0.9),
+            Point::new(-0.9, 0.0),
+            Point::new(0.0, -0.9),
+            Point::new(3.0, 3.0), // isolated
+        ])
+    }
+
+    fn beam(deg: f64) -> Beamwidth {
+        Beamwidth::from_degrees(deg).unwrap()
+    }
+
+    #[test]
+    fn neighbors_match_reference() {
+        let c = cross();
+        let plan = CoveragePlan::new(&c, beam(30.0));
+        for i in 0..c.len() {
+            assert_eq!(
+                plan.neighbors(NodeId(i)),
+                c.covered_by(NodeId(i), TxPattern::Omni).unwrap().as_slice(),
+                "node {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn directional_sets_match_reference_for_all_neighbor_aims() {
+        let c = cross();
+        for theta in [15.0, 90.0, 181.0, 360.0] {
+            let plan = CoveragePlan::new(&c, beam(theta));
+            for src in 0..c.len() {
+                for &dst in plan.neighbors(NodeId(src)) {
+                    let pattern = TxPattern::aimed(
+                        c.position(NodeId(src)).unwrap(),
+                        c.position(dst).unwrap(),
+                        beam(theta),
+                    );
+                    assert_eq!(
+                        plan.directional_coverage(NodeId(src), dst).unwrap(),
+                        c.covered_by(NodeId(src), pattern).unwrap().as_slice(),
+                        "θ={theta} {src}→{dst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrices_match_reference_bit_for_bit() {
+        let c = cross();
+        let plan = CoveragePlan::new(&c, beam(90.0));
+        for a in 0..c.len() {
+            for b in 0..c.len() {
+                let (a, b) = (NodeId(a), NodeId(b));
+                assert_eq!(
+                    plan.distance(a, b).to_bits(),
+                    c.distance(a, b).unwrap().to_bits()
+                );
+                assert_eq!(
+                    plan.heading(a, b).radians().to_bits(),
+                    c.heading(a, b).unwrap().radians().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_neighbor_aim_has_no_precomputed_slice() {
+        let c = cross();
+        let plan = CoveragePlan::new(&c, beam(30.0));
+        // Node 5 is isolated: no aim toward it is precomputed, and it
+        // precomputes no aims of its own.
+        assert_eq!(plan.directional_coverage(NodeId(0), NodeId(5)), None);
+        assert_eq!(plan.directional_coverage(NodeId(5), NodeId(0)), None);
+        // Self-aims are never precomputed either.
+        assert_eq!(plan.directional_coverage(NodeId(0), NodeId(0)), None);
+    }
+
+    #[test]
+    fn omni_beamwidth_aliases_the_neighbour_slice() {
+        let c = cross();
+        let plan = CoveragePlan::new(&c, Beamwidth::OMNI);
+        let narrow = CoveragePlan::new(&c, beam(30.0));
+        for src in 0..c.len() {
+            for &dst in plan.neighbors(NodeId(src)) {
+                assert_eq!(
+                    plan.directional_coverage(NodeId(src), dst).unwrap(),
+                    plan.neighbors(NodeId(src)),
+                    "360° beam must equal the omni footprint"
+                );
+            }
+        }
+        // Aliasing keeps the arena small: a 360° plan adds no directional
+        // entries beyond the omni lists, unlike a narrow-beam plan.
+        assert!(plan.arena_len() <= narrow.arena_len());
+    }
+
+    #[test]
+    fn empty_channel_builds_an_empty_plan() {
+        let c = Channel::new(vec![], 1.0, SimDuration::ZERO).unwrap();
+        let plan = CoveragePlan::new(&c, beam(90.0));
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.arena_len(), 0);
+    }
+
+    #[test]
+    fn accessors_report_build_parameters() {
+        let c = cross();
+        let plan = CoveragePlan::new(&c, beam(45.0));
+        assert_eq!(plan.len(), 6);
+        assert!(!plan.is_empty());
+        assert!((plan.beamwidth().degrees() - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "node id out of range")]
+    fn out_of_range_lookup_panics() {
+        let c = cross();
+        let plan = CoveragePlan::new(&c, beam(90.0));
+        let _ = plan.distance(NodeId(0), NodeId(99));
+    }
+}

@@ -21,6 +21,13 @@
 //! The crate is event-framework-agnostic: [`Transceiver`] is a pure state
 //! machine fed with signal-arrival/end notifications; the `dirca-net` crate
 //! wires it to the discrete-event loop.
+//!
+//! Because positions, range, and beamwidth are immutable for a run,
+//! [`CoveragePlan`] precomputes every spatial answer the per-frame hot
+//! path needs — distance/heading matrices, omni neighbour lists, and
+//! per-(src, dst) directional footprints — as borrowed slices with no
+//! per-query trigonometry or allocation. [`Channel::covered_by`] remains
+//! the reference implementation the plan is built from and tested against.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -28,9 +35,11 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
 mod channel;
+mod coverage;
 mod transceiver;
 
 pub use channel::{Channel, ChannelError, TxPattern};
+pub use coverage::CoveragePlan;
 pub use transceiver::{ReceptionMode, RxEndReport, SignalId, Transceiver};
 
 use std::fmt;

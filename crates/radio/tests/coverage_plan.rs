@@ -1,0 +1,161 @@
+//! Property tests pinning [`CoveragePlan`] to the reference channel
+//! queries it caches.
+//!
+//! The plan is *built by* the reference implementation, so these tests
+//! guard against the failure mode that matters: the lookup tables drifting
+//! from `Channel::covered_by` / `heading` / `distance` under a future
+//! "optimisation" of the build. Every property is checked across random
+//! topologies and beamwidths, including the θ = 360° aliasing case and
+//! degenerate collinear layouts where sector membership sits on the
+//! boundary.
+
+// Unwraps and exact float comparisons are idiomatic in test assertions.
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
+
+use dirca_geometry::{Beamwidth, Point};
+use dirca_radio::{Channel, CoveragePlan, NodeId, TxPattern};
+use dirca_sim::SimDuration;
+use proptest::prelude::*;
+
+fn positions_strategy() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        (-3.0f64..3.0, -3.0f64..3.0).prop_map(|(x, y)| Point::new(x, y)),
+        2..12,
+    )
+}
+
+/// Nodes on a shared line through the origin: every heading is either the
+/// line's bearing or its opposite, so beam-edge membership is exercised
+/// constantly.
+fn collinear_strategy() -> impl Strategy<Value = Vec<Point>> {
+    let pi = std::f64::consts::PI;
+    (prop::collection::vec(-3.0f64..3.0, 2..10), -pi..pi).prop_map(|(ts, angle)| {
+        ts.iter()
+            .map(|t| Point::new(t * angle.cos(), t * angle.sin()))
+            .collect()
+    })
+}
+
+fn beamwidth_strategy() -> impl Strategy<Value = Beamwidth> {
+    prop_oneof![
+        (1.0f64..360.0).prop_map(|d| Beamwidth::from_degrees(d).unwrap()),
+        // Weight the exact-360° aliasing path explicitly; a uniform draw
+        // essentially never lands on it.
+        Just(Beamwidth::OMNI),
+    ]
+}
+
+fn channel(positions: Vec<Point>) -> Channel {
+    Channel::new(positions, 1.0, SimDuration::from_micros(1)).unwrap()
+}
+
+/// Asserts every plan lookup equals its reference query on `chan`.
+fn assert_plan_matches_reference(chan: &Channel, beamwidth: Beamwidth) {
+    let plan = CoveragePlan::new(chan, beamwidth);
+    for a in 0..chan.len() {
+        let a = NodeId(a);
+        // Distance and heading matrices: bit-for-bit, not approximately —
+        // the plan must be a cache, not a recomputation.
+        for b in 0..chan.len() {
+            let b = NodeId(b);
+            assert_eq!(
+                plan.distance(a, b).to_bits(),
+                chan.distance(a, b).unwrap().to_bits(),
+                "distance {a} → {b}"
+            );
+            assert_eq!(
+                plan.heading(a, b).radians().to_bits(),
+                chan.heading(a, b).unwrap().radians().to_bits(),
+                "heading {a} → {b}"
+            );
+        }
+        // Omni neighbour lists.
+        assert_eq!(
+            plan.neighbors(a),
+            chan.covered_by(a, TxPattern::Omni).unwrap().as_slice(),
+            "omni neighbourhood of {a}"
+        );
+        // Directional sets for every precomputable aim.
+        for &dst in plan.neighbors(a) {
+            let pattern = TxPattern::aimed(
+                chan.position(a).unwrap(),
+                chan.position(dst).unwrap(),
+                beamwidth,
+            );
+            assert_eq!(
+                plan.directional_coverage(a, dst).unwrap(),
+                chan.covered_by(a, pattern).unwrap().as_slice(),
+                "aim {a} → {dst} at θ = {}°",
+                beamwidth.degrees()
+            );
+        }
+    }
+}
+
+proptest! {
+    // 128 random cases each across three properties (plus the collinear
+    // and 360° variants below) comfortably exceeds 200 distinct
+    // topology × beamwidth draws per run.
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn plan_matches_reference_on_random_topologies(
+        positions in positions_strategy(),
+        beamwidth in beamwidth_strategy(),
+    ) {
+        assert_plan_matches_reference(&channel(positions), beamwidth);
+    }
+
+    #[test]
+    fn plan_matches_reference_on_collinear_topologies(
+        positions in collinear_strategy(),
+        beamwidth in beamwidth_strategy(),
+    ) {
+        // Collinear nodes put receivers exactly on beam boresights and
+        // exactly opposite them: the sector boundary is hit on purpose.
+        assert_plan_matches_reference(&channel(positions), beamwidth);
+    }
+
+    #[test]
+    fn full_circle_beam_equals_omni_footprint(positions in positions_strategy()) {
+        // θ = 360° must alias the omni neighbourhood: a full-circle beam
+        // and the omni pattern are the same physical footprint.
+        let chan = channel(positions);
+        let plan = CoveragePlan::new(&chan, Beamwidth::OMNI);
+        for src in 0..chan.len() {
+            let src = NodeId(src);
+            for &dst in plan.neighbors(src) {
+                prop_assert_eq!(
+                    plan.directional_coverage(src, dst).unwrap(),
+                    plan.neighbors(src),
+                    "360° aim {} → {} diverged from omni", src, dst
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_neighbor_aims_have_no_slice(
+        positions in positions_strategy(),
+        beamwidth in beamwidth_strategy(),
+    ) {
+        // The plan only precomputes aims a MAC can produce (reachable
+        // destinations); everything else reports `None` so callers take
+        // the reference fallback rather than reading a wrong slice.
+        let chan = channel(positions);
+        let plan = CoveragePlan::new(&chan, beamwidth);
+        for src in 0..chan.len() {
+            let src = NodeId(src);
+            let neighbors = plan.neighbors(src);
+            for dst in 0..chan.len() {
+                let dst = NodeId(dst);
+                if !neighbors.contains(&dst) {
+                    prop_assert_eq!(
+                        plan.directional_coverage(src, dst), None,
+                        "unreachable aim {} → {} has a precomputed slice", src, dst
+                    );
+                }
+            }
+        }
+    }
+}

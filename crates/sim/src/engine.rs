@@ -40,6 +40,15 @@ impl<E> Scheduler<E> {
         self.queue.push(self.now + delay, event);
     }
 
+    /// Reserves queue room for at least `additional` more pending events.
+    ///
+    /// Worlds that know their steady-state event population (e.g. nodes ×
+    /// per-handshake event count) call this while priming so the queue
+    /// never re-grows on the hot path.
+    pub fn reserve(&mut self, additional: usize) {
+        self.queue.reserve(additional);
+    }
+
     /// Schedules `event` at absolute instant `at`.
     ///
     /// # Panics

@@ -12,6 +12,15 @@ use crate::SimTime;
 /// equal-timestamp events in an arbitrary order that can change with
 /// unrelated code edits, silently reshuffling simulated collisions.
 ///
+/// # Representation
+///
+/// Event payloads live in a slab indexed by a free list; the heap itself
+/// holds only fixed-size `(time, seq, slot)` keys. Sift operations on a
+/// binary heap move entries around on every push and pop, so keeping the
+/// moved entries at three words — independent of `size_of::<E>()` — is a
+/// measurable win for worlds with large event payloads. Ordering is
+/// unchanged: the heap still compares exactly `(time, seq)`.
+///
 /// # Example
 ///
 /// ```
@@ -28,32 +37,36 @@ use crate::SimTime;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<Entry>,
+    /// Payload storage; `None` marks a free slot.
+    slab: Vec<Option<E>>,
+    /// Indices of free slab slots, reused LIFO.
+    free: Vec<u32>,
     next_seq: u64,
 }
 
 #[derive(Debug)]
-struct Entry<E> {
+struct Entry {
     time: SimTime,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
 
-impl<E> Eq for Entry<E> {}
+impl Eq for Entry {}
 
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: invert so the earliest (time, seq) wins.
         other
@@ -68,20 +81,73 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
         }
     }
 
+    /// Creates an empty queue pre-sized for at least `capacity` pending
+    /// events, so a simulation with a known steady-state event population
+    /// never re-grows the heap mid-run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+        self.slab.reserve(additional);
+        self.free.reserve(additional);
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Inserts `event` to fire at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `u32::MAX` simultaneously pending events (the slab
+    /// index width); a simulation queue that size has long since exhausted
+    /// memory.
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                *self
+                    .slab
+                    .get_mut(slot as usize)
+                    .expect("free list only holds in-range slots") = Some(event);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slab.len()).expect("event queue slab overflow");
+                self.slab.push(Some(event));
+                slot
+            }
+        };
+        self.heap.push(Entry { time, seq, slot });
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let entry = self.heap.pop()?;
+        let event = self
+            .slab
+            .get_mut(entry.slot as usize)
+            .and_then(Option::take)
+            .expect("heap entry must reference an occupied slab slot");
+        self.free.push(entry.slot);
+        Some((entry.time, event))
     }
 
     /// Timestamp of the earliest pending event, if any.
@@ -102,6 +168,8 @@ impl<E> EventQueue<E> {
     /// Removes all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.slab.clear();
+        self.free.clear();
     }
 }
 
@@ -167,5 +235,33 @@ mod tests {
     fn default_is_empty() {
         let q: EventQueue<()> = EventQueue::default();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let q: EventQueue<u64> = EventQueue::with_capacity(1024);
+        assert!(q.is_empty());
+        assert!(q.capacity() >= 1024);
+    }
+
+    #[test]
+    fn reserve_grows_capacity_without_touching_contents() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(2), 'b');
+        q.push(SimTime::from_nanos(1), 'a');
+        q.reserve(500);
+        assert!(q.capacity() >= 502);
+        assert_eq!(q.pop().unwrap().1, 'a');
+        assert_eq!(q.pop().unwrap().1, 'b');
+    }
+
+    #[test]
+    fn preallocated_queue_never_regrows_within_capacity() {
+        let mut q = EventQueue::with_capacity(100);
+        let cap = q.capacity();
+        for i in 0..100u64 {
+            q.push(SimTime::from_nanos(i % 7), i);
+        }
+        assert_eq!(q.capacity(), cap, "pushes within capacity must not grow");
     }
 }

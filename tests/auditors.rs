@@ -174,11 +174,13 @@ fn transceiver_auditor_fires_on_orphan_signal_end() {
     let world = NetWorld::build(&fixtures::pair(0.5, 1.0), &quick(Scheme::OrtsOcts, 1));
     let mut auditor = TransceiverAuditor::new();
     let params = world.params().clone();
-    // A trailing edge whose leading edge never happened.
-    let event = NetEvent::SignalEnd {
-        dst: NodeId(1),
+    // A trailing edge whose leading edge never happened: the wave from
+    // node 0 covers node 1, whose `(dst, id)` pair was never inserted.
+    let event = NetEvent::WaveEnd {
+        src: NodeId(0),
         id: SignalId(9),
         frame: Frame::rts(NodeId(0), NodeId(1), 1460, &params),
+        directional: false,
     };
     auditor.before_event(SimTime::from_micros(10), &event, &world);
 }
