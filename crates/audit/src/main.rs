@@ -4,9 +4,11 @@
 //! deterministic discrete-event core must never contain:
 //!
 //! * **`HashMap`/`HashSet` in simulation-ordering crates** (`sim`, `mac`,
-//!   `net`, `radio`): iteration order of the std hash collections is
-//!   randomized per process, so any use in code that feeds the event loop
-//!   is a determinism hazard. Use `BTreeMap`/`BTreeSet`/`Vec` instead.
+//!   `net`, `radio`, `experiments`): iteration order of the std hash
+//!   collections is randomized per process, so any use in code that feeds
+//!   the event loop (or aggregates its results, as the experiment harness
+//!   and its checkpoint/resume runner do) is a determinism hazard. Use
+//!   `BTreeMap`/`BTreeSet`/`Vec` instead.
 //! * **Wall-clock and entropy sources in deterministic crates**
 //!   (`std::time`, `thread_rng`, `from_entropy`, `rand::rng()`): simulated
 //!   time comes from the event queue and randomness from seeded streams;
@@ -29,7 +31,7 @@ use std::process::ExitCode;
 
 /// Crates whose data structures feed event ordering: hash collections are
 /// banned outright.
-const ORDERING_CRATES: &[&str] = &["sim", "mac", "net", "radio"];
+const ORDERING_CRATES: &[&str] = &["sim", "mac", "net", "radio", "experiments"];
 
 /// Crates that must be reproducible end to end: no wall clocks, no
 /// entropy.

@@ -40,6 +40,18 @@ fn main() {
     ]);
     let omni = run_sweep(Scheme::OrtsOcts, &sweep, threads);
     let dir = run_sweep(Scheme::DrtsDcts, &sweep, threads);
+    let mut failed = 0usize;
+    for (scheme, points) in [("ORTS-OCTS", &omni), ("DRTS-DCTS", &dir)] {
+        for p in points.iter() {
+            for (topology, message) in &p.failed_topologies {
+                failed += 1;
+                eprintln!(
+                    "warning: {scheme} at {} pkt/s: topology {topology} panicked: {message}",
+                    p.offered_pps
+                );
+            }
+        }
+    }
     for (o, d) in omni.iter().zip(&dir) {
         t.row(vec![
             format!("{:.0}", o.offered_pps),
@@ -50,4 +62,8 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    if failed > 0 {
+        eprintln!("{failed} topology simulations failed; summaries above exclude them");
+        std::process::exit(1);
+    }
 }

@@ -2,21 +2,74 @@
 //! metric reports (throughput, delay, collision ratio, fairness) from the
 //! same runs. This is the economical way to regenerate E3-E6 together.
 //!
-//! Usage: same flags as `fig6` (`--quick`, `--topologies`, `--measure-ms`,
-//! `--n`, `--theta`, `--threads`, `--seed`).
+//! The grid runs under the fault-tolerant runner: each cell is isolated
+//! (a panic or watchdog trip fails that cell, not the run), and with
+//! `--checkpoint PATH` every finished cell is persisted so `--resume`
+//! continues an interrupted run where it left off.
+//!
+//! Usage: same scale flags as `fig6` (`--quick`, `--topologies`,
+//! `--measure-ms`, `--n`, `--theta`, `--threads`, `--seed`), plus the
+//! runner flags `--checkpoint PATH`, `--resume`, `--max-cells K`,
+//! `--retries R`, `--events-budget E`, and the CI drill switches
+//! `--inject-panic n,theta,scheme` / `--inject-timeout n,theta,scheme`.
+//!
+//! Exit status: 0 on a clean complete grid, 1 if any cell failed, 2 on a
+//! usage error, 3 if `--max-cells` stopped the run early.
 
 use dirca_experiments::cli::Flags;
-use dirca_experiments::report::{combined_report, GridScale};
+use dirca_experiments::report::{render_combined, GridScale};
+use dirca_experiments::ringsim::RingOutcome;
+use dirca_experiments::runner::{run_grid, RunnerConfig};
 
 fn main() {
-    let scale = GridScale::from_flags(&Flags::from_env());
+    let flags = Flags::from_env();
+    let scale = GridScale::from_flags(&flags);
+    let runner = RunnerConfig::try_from_flags(&flags).unwrap_or_else(|e| e.exit());
     eprintln!(
         "running grid: {} densities x {} beamwidths x 3 schemes x {} topologies ({} ms measure, {} threads)",
         scale.densities.len(),
         scale.beamwidths.len(),
         scale.topologies,
         scale.measure.as_nanos() / 1_000_000,
-        scale.threads
+        runner.threads
     );
-    println!("{}", combined_report(&scale));
+    let outcome = run_grid(&scale, &runner).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    if outcome.restored > 0 {
+        eprintln!(
+            "restored {} completed cells from the checkpoint",
+            outcome.restored
+        );
+    }
+    let completed: Vec<_> = outcome
+        .outcomes
+        .iter()
+        .filter_map(|o| {
+            o.result.as_ref().ok().map(|s| {
+                (
+                    o.cell.n,
+                    o.cell.theta,
+                    o.cell.scheme,
+                    RingOutcome::from_samples(s),
+                )
+            })
+        })
+        .collect();
+    println!("{}", render_combined(&scale, &completed));
+    let failures = outcome.render_failures();
+    if !failures.is_empty() {
+        eprint!("{failures}");
+    }
+    if outcome.stopped_early {
+        eprintln!(
+            "stopped early after executing {} cells (--max-cells); rerun with --resume to continue",
+            outcome.executed
+        );
+        std::process::exit(3);
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
 }

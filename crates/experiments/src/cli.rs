@@ -1,6 +1,45 @@
 //! Minimal flag parsing shared by the experiment binaries.
+//!
+//! Malformed values are a usage problem, not a program bug: the `try_get_*`
+//! accessors surface them as a typed [`UsageError`], and the plain `get_*`
+//! accessors (what the binaries call) print that error to stderr and exit
+//! with status 2 — the conventional "bad command line" code — instead of
+//! panicking with a backtrace.
 
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// A flag value that could not be parsed: `--{flag}` expected a `{expected}`
+/// but got `{got}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError {
+    /// The flag name, without the leading `--`.
+    pub flag: String,
+    /// What kind of value the flag expects ("an integer", "a number").
+    pub expected: &'static str,
+    /// The malformed value as given.
+    pub got: String,
+}
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "usage error: --{} expects {}, got {:?}",
+            self.flag, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+impl UsageError {
+    /// Prints the error to stderr and exits with status 2.
+    pub fn exit(&self) -> ! {
+        eprintln!("{self}");
+        std::process::exit(2);
+    }
+}
 
 /// Parsed command-line flags: `--key value` pairs and bare `--switch`es.
 #[derive(Debug, Clone, Default)]
@@ -58,46 +97,57 @@ impl Flags {
         self.values.get(name).map(String::as_str)
     }
 
-    /// `--name` parsed as `usize`, or `default`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a readable message if the value does not parse.
+    fn try_parse<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, UsageError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| UsageError {
+                flag: name.to_string(),
+                expected,
+                got: v.to_string(),
+            }),
+        }
+    }
+
+    /// `--name` parsed as `usize`, or `default`; a malformed value is a
+    /// [`UsageError`].
+    pub fn try_get_usize(&self, name: &str, default: usize) -> Result<usize, UsageError> {
+        self.try_parse(name, default, "an integer")
+    }
+
+    /// `--name` parsed as `u64`, or `default`; a malformed value is a
+    /// [`UsageError`].
+    pub fn try_get_u64(&self, name: &str, default: u64) -> Result<u64, UsageError> {
+        self.try_parse(name, default, "an integer")
+    }
+
+    /// `--name` parsed as `f64`, or `default`; a malformed value is a
+    /// [`UsageError`].
+    pub fn try_get_f64(&self, name: &str, default: f64) -> Result<f64, UsageError> {
+        self.try_parse(name, default, "a number")
+    }
+
+    /// `--name` parsed as `usize`, or `default`. A malformed value prints a
+    /// usage error to stderr and exits with status 2.
     pub fn get_usize(&self, name: &str, default: usize) -> usize {
-        match self.get(name) {
-            None => default,
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}")),
-        }
+        self.try_get_usize(name, default)
+            .unwrap_or_else(|e| e.exit())
     }
 
-    /// `--name` parsed as `u64`, or `default`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a readable message if the value does not parse.
+    /// `--name` parsed as `u64`, or `default`. A malformed value prints a
+    /// usage error to stderr and exits with status 2.
     pub fn get_u64(&self, name: &str, default: u64) -> u64 {
-        match self.get(name) {
-            None => default,
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}")),
-        }
+        self.try_get_u64(name, default).unwrap_or_else(|e| e.exit())
     }
 
-    /// `--name` parsed as `f64`, or `default`.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a readable message if the value does not parse.
+    /// `--name` parsed as `f64`, or `default`. A malformed value prints a
+    /// usage error to stderr and exits with status 2.
     pub fn get_f64(&self, name: &str, default: f64) -> f64 {
-        match self.get(name) {
-            None => default,
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}")),
-        }
+        self.try_get_f64(name, default).unwrap_or_else(|e| e.exit())
     }
 }
 
@@ -140,8 +190,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "expects an integer")]
-    fn bad_integer_panics() {
-        flags(&["--n", "xyz"]).get_usize("n", 0);
+    fn bad_integer_is_a_usage_error() {
+        let err = flags(&["--n", "xyz"])
+            .try_get_usize("n", 0)
+            .expect_err("xyz is not an integer");
+        assert_eq!(err.flag, "n");
+        assert_eq!(err.expected, "an integer");
+        assert_eq!(err.got, "xyz");
+        assert_eq!(
+            err.to_string(),
+            "usage error: --n expects an integer, got \"xyz\""
+        );
+    }
+
+    #[test]
+    fn bad_u64_and_f64_are_usage_errors() {
+        let f = flags(&["--seed", "-1", "--rate", "fast"]);
+        assert!(f.try_get_u64("seed", 0).is_err(), "u64 rejects negatives");
+        let err = f.try_get_f64("rate", 0.0).expect_err("not a number");
+        assert_eq!(err.expected, "a number");
+        assert_eq!(err.got, "fast");
+    }
+
+    #[test]
+    fn try_getters_default_when_missing() {
+        let f = flags(&[]);
+        assert_eq!(f.try_get_usize("n", 7), Ok(7));
+        assert_eq!(f.try_get_u64("seed", 9), Ok(9));
+        assert_eq!(f.try_get_f64("x", 1.5), Ok(1.5));
     }
 }

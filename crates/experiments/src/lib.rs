@@ -17,6 +17,7 @@
 //! | E12 | RTS-threshold study (ours) | [`rts_threshold`] | `rts_threshold` |
 //! | E13 | airtime accounting (ours) | — | `airtime` |
 //! | E14 | model-vs-simulation validation on Poisson fields (ours) | [`model_vs_sim`] | `model_vs_sim` |
+//! | E15 | throughput vs injected frame error rate (ours) | [`fault_sweep`] | `fault_sweep` |
 //! | — | SVG figure rendering | [`plot`] | `figures` |
 //!
 //! Every binary accepts `--quick` (a fast smoke-test scale) plus
@@ -29,6 +30,7 @@
 
 pub mod cli;
 pub mod directional_rx;
+pub mod fault_sweep;
 pub mod fig5;
 pub mod mac_ablation;
 pub mod model_vs_sim;
@@ -38,5 +40,6 @@ mod pool;
 pub mod report;
 pub mod ringsim;
 pub mod rts_threshold;
+pub mod runner;
 pub mod table;
 pub mod table1;

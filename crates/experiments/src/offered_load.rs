@@ -7,7 +7,7 @@
 //! — with the directional schemes saturating later (their spatial-reuse
 //! advantage) and keeping delay lower on the way up.
 
-use crate::pool::parallel_indexed;
+use crate::pool::parallel_indexed_catch;
 
 use dirca_mac::Scheme;
 use dirca_net::{run, SimConfig, TrafficModel};
@@ -26,6 +26,11 @@ pub struct LoadPoint {
     pub e2e_delay_ms: Summary,
     /// Source-queue drops per topology.
     pub queue_drops: Summary,
+    /// Topologies whose simulation panicked, with the panic text. The
+    /// summaries above aggregate only the surviving topologies; callers
+    /// should surface these (and exit nonzero) rather than trust a
+    /// silently thinner sample.
+    pub failed_topologies: Vec<(usize, String)>,
 }
 
 /// Configuration of the offered-load sweep.
@@ -69,7 +74,7 @@ pub fn run_sweep(scheme: Scheme, sweep: &LoadSweep, threads: usize) -> Vec<LoadP
 }
 
 fn run_point(scheme: Scheme, sweep: &LoadSweep, rate: f64, threads: usize) -> LoadPoint {
-    let samples = parallel_indexed(sweep.topologies, threads, |t| {
+    let samples = parallel_indexed_catch(sweep.topologies, threads, |t| {
         let spec = RingSpec::paper(sweep.n_avg, 1.0);
         let mut topo_rng = stream_rng(derive_seed(sweep.seed, 0xA11CE), t as u64);
         let topology = spec.generate(&mut topo_rng).expect("topology generation");
@@ -94,13 +99,19 @@ fn run_point(scheme: Scheme, sweep: &LoadSweep, rate: f64, threads: usize) -> Lo
         throughput: Summary::new(),
         e2e_delay_ms: Summary::new(),
         queue_drops: Summary::new(),
+        failed_topologies: Vec::new(),
     };
-    for (throughput, delay, drops) in samples {
-        point.throughput.push(throughput);
-        if let Some(d) = delay {
-            point.e2e_delay_ms.push(d.as_secs_f64() * 1e3);
+    for outcome in samples {
+        match outcome {
+            Ok((throughput, delay, drops)) => {
+                point.throughput.push(throughput);
+                if let Some(d) = delay {
+                    point.e2e_delay_ms.push(d.as_secs_f64() * 1e3);
+                }
+                point.queue_drops.push(drops);
+            }
+            Err(panic) => point.failed_topologies.push((panic.index, panic.message)),
         }
-        point.queue_drops.push(drops);
     }
     point
 }

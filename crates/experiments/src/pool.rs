@@ -8,20 +8,47 @@
 //! order — results are byte-identical for any `threads` value.
 //!
 //! Each index has its own slot lock, so workers writing different results
-//! never contend with each other (the old design funnelled every result
-//! through one shared `Mutex<Vec<_>>` and sorted at the end).
+//! never contend with each other, and each job runs under
+//! [`catch_unwind`]: one panicking cell is reported as a failed index
+//! instead of poisoning its slot and crashing the whole sweep.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// One indexed job panicked; the panic payload is captured as text so the
+/// caller can report or retry the index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct JobPanic {
+    /// Which work index failed.
+    pub index: usize,
+    /// The stringified panic payload.
+    pub message: String,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Runs `job(i)` for every `i in 0..count` across up to `threads` workers
-/// and returns the results in index order, independent of thread
-/// scheduling.
+/// and returns per-index outcomes in index order, independent of thread
+/// scheduling. A panicking job yields `Err(JobPanic)` for its index; the
+/// remaining indices still run to completion.
 ///
-/// # Panics
-///
-/// Propagates panics from `job`.
-pub(crate) fn parallel_indexed<T, F>(count: usize, threads: usize, job: F) -> Vec<T>
+/// Jobs must not leave shared state half-mutated when they panic: the
+/// callers here hand each job read-only experiment parameters and collect
+/// pure results, which is what makes the unwind boundary sound.
+pub(crate) fn parallel_indexed_catch<T, F>(
+    count: usize,
+    threads: usize,
+    job: F,
+) -> Vec<Result<T, JobPanic>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -30,7 +57,8 @@ where
     let next = AtomicUsize::new(0);
     // One slot per index: each is written exactly once, by whichever worker
     // claimed that index, so the per-slot locks are uncontended.
-    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<T, JobPanic>>>> =
+        (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -38,26 +66,53 @@ where
                 if i >= count {
                     break;
                 }
-                let value = job(i);
-                *slots[i].lock().expect("slot writer never panics mid-store") = Some(value);
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| job(i))).map_err(|payload| JobPanic {
+                        index: i,
+                        message: panic_message(payload),
+                    });
+                // The store itself cannot panic (the job already ran), so
+                // the slot lock is never poisoned.
+                *slots[i].lock().expect("slot writer never panics mid-store") = Some(outcome);
             });
         }
     });
-    // A job panic propagates out of the scope above, so reaching this point
-    // means every claimed index stored its value.
     slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("a worker panicked while storing its result")
+                .expect("slot writer never panics mid-store")
                 .expect("every index below count is claimed exactly once")
+        })
+        .collect()
+}
+
+/// Runs `job(i)` for every `i in 0..count` and returns the results in
+/// index order, independent of thread scheduling.
+///
+/// # Panics
+///
+/// Re-raises the first (lowest-index) job panic, with the index attached.
+/// Callers that need to survive failures use
+/// [`parallel_indexed_catch`] instead.
+pub(crate) fn parallel_indexed<T, F>(count: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_indexed_catch(count, threads, job)
+        .into_iter()
+        .map(|outcome| {
+            outcome.unwrap_or_else(|failure| {
+                panic!("job {} panicked: {}", failure.index, failure.message)
+            })
         })
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
-    use super::parallel_indexed;
+    use super::{parallel_indexed, parallel_indexed_catch};
 
     #[test]
     fn results_come_back_in_index_order() {
@@ -87,5 +142,49 @@ mod tests {
         struct NotClone(usize);
         let got = parallel_indexed(10, 3, NotClone);
         assert!(got.iter().enumerate().all(|(want, v)| v.0 == want));
+    }
+
+    #[test]
+    fn panicking_index_is_isolated() {
+        for threads in [1, 2, 8] {
+            let got = parallel_indexed_catch(10, threads, |i| {
+                assert!(i != 4, "index four is cursed");
+                i * 10
+            });
+            assert_eq!(got.len(), 10);
+            for (i, outcome) in got.iter().enumerate() {
+                if i == 4 {
+                    let failure = outcome.as_ref().expect_err("index 4 must fail");
+                    assert_eq!(failure.index, 4);
+                    assert!(failure.message.contains("cursed"), "{}", failure.message);
+                } else {
+                    assert_eq!(*outcome.as_ref().expect("healthy index"), i * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_indices_can_fail_without_crashing() {
+        let got: Vec<Result<(), _>> = parallel_indexed_catch(5, 2, |i| panic!("boom {i}"));
+        assert!(got.iter().enumerate().all(|(i, r)| {
+            r.as_ref()
+                .is_err_and(|f| f.index == i && f.message == format!("boom {i}"))
+        }));
+    }
+
+    #[test]
+    fn string_panic_payloads_are_captured() {
+        let got: Vec<Result<(), _>> =
+            parallel_indexed_catch(1, 1, |_| std::panic::panic_any("plain str".to_owned()));
+        assert_eq!(got[0].as_ref().unwrap_err().message, "plain str");
+    }
+
+    #[test]
+    #[should_panic(expected = "job 3 panicked: deliberate")]
+    fn legacy_wrapper_reraises_lowest_failed_index() {
+        parallel_indexed(8, 2, |i| {
+            assert!(i < 3, "deliberate");
+        });
     }
 }

@@ -4,7 +4,7 @@ use dirca_mac::Scheme;
 use dirca_sim::SimDuration;
 use dirca_stats::Summary;
 
-use crate::cli::Flags;
+use crate::cli::{Flags, UsageError};
 use crate::ringsim::{run_cell, RingExperiment, RingOutcome};
 use crate::table::{mean_range, Table};
 
@@ -61,33 +61,40 @@ pub struct GridScale {
 impl GridScale {
     /// Builds the scale from flags: `--quick` shrinks everything;
     /// `--topologies`, `--measure-ms`, `--threads`, `--seed`, `--n`
-    /// override individual knobs.
+    /// override individual knobs. A malformed value prints a usage error to
+    /// stderr and exits with status 2.
     pub fn from_flags(flags: &Flags) -> Self {
+        Self::try_from_flags(flags).unwrap_or_else(|e| e.exit())
+    }
+
+    /// Like [`GridScale::from_flags`], but surfaces malformed values as a
+    /// [`UsageError`] instead of exiting.
+    pub fn try_from_flags(flags: &Flags) -> Result<Self, UsageError> {
         let quick = flags.has("quick");
-        let topologies = flags.get_usize("topologies", if quick { 4 } else { 50 });
-        let measure_ms = flags.get_u64("measure-ms", if quick { 1_000 } else { 10_000 });
-        let warmup_ms = flags.get_u64("warmup-ms", if quick { 100 } else { 500 });
-        let threads = flags.get_usize(
+        let topologies = flags.try_get_usize("topologies", if quick { 4 } else { 50 })?;
+        let measure_ms = flags.try_get_u64("measure-ms", if quick { 1_000 } else { 10_000 })?;
+        let warmup_ms = flags.try_get_u64("warmup-ms", if quick { 100 } else { 500 })?;
+        let threads = flags.try_get_usize(
             "threads",
             std::thread::available_parallelism().map_or(4, |n| n.get()),
-        );
+        )?;
         let densities = match flags.get("n") {
-            Some(v) => vec![v.parse().expect("--n expects an integer")],
+            Some(_) => vec![flags.try_get_usize("n", 0)?],
             None => vec![3, 5, 8],
         };
         let beamwidths = match flags.get("theta") {
-            Some(v) => vec![v.parse().expect("--theta expects a number")],
+            Some(_) => vec![flags.try_get_f64("theta", 0.0)?],
             None => vec![30.0, 90.0, 150.0],
         };
-        GridScale {
+        Ok(GridScale {
             topologies,
             measure: SimDuration::from_millis(measure_ms),
             warmup: SimDuration::from_millis(warmup_ms),
             threads,
-            seed: flags.get_u64("seed", 0xD1CA),
+            seed: flags.try_get_u64("seed", 0xD1CA)?,
             densities,
             beamwidths,
-        }
+        })
     }
 
     /// Instantiates one cell at this scale.
@@ -102,6 +109,7 @@ impl GridScale {
             measure: self.measure,
             reception: dirca_radio::ReceptionMode::Omni,
             mac: dirca_mac::MacConfig::default(),
+            fault: dirca_net::FaultPlan::default(),
         }
     }
 }
@@ -152,6 +160,19 @@ pub fn combined_report(scale: &GridScale) -> String {
             }
         }
     }
+    render_combined(scale, &outcomes)
+}
+
+/// Renders the four metric sections from precomputed cell outcomes. Cells
+/// absent from `outcomes` (e.g. ones that failed under the fault-tolerant
+/// runner) render as `n/a`, so a partial grid still reports cleanly. The
+/// text is identical to [`combined_report`]'s for a complete grid — which
+/// is what makes a resumed run's report comparable to an uninterrupted
+/// one.
+pub fn render_combined(
+    scale: &GridScale,
+    outcomes: &[(usize, f64, Scheme, RingOutcome)],
+) -> String {
     let mut out = String::new();
     let sections = [
         (
@@ -189,12 +210,18 @@ pub fn combined_report(scale: &GridScale) -> String {
                         .find(|(on, ot, os, _)| {
                             *on == n && ot.to_bits() == theta.to_bits() && *os == scheme
                         })
-                        .map(|(_, _, _, o)| o)
-                        .expect("cell was computed");
-                    let s = metric.pick(outcome);
-                    let text = match (s.mean(), s.min(), s.max()) {
-                        (Some(m), Some(lo), Some(hi)) => mean_range(m, lo, hi, metric.decimals()),
-                        _ => "n/a".into(),
+                        .map(|(_, _, _, o)| o);
+                    let text = match outcome {
+                        Some(o) => {
+                            let s = metric.pick(o);
+                            match (s.mean(), s.min(), s.max()) {
+                                (Some(m), Some(lo), Some(hi)) => {
+                                    mean_range(m, lo, hi, metric.decimals())
+                                }
+                                _ => "n/a".into(),
+                            }
+                        }
+                        None => "n/a".into(),
                     };
                     cells.push(text);
                 }
@@ -261,6 +288,15 @@ mod tests {
         assert_eq!(scale.densities, vec![5]);
         assert_eq!(scale.beamwidths, vec![30.0]);
         assert_eq!(scale.seed, 1);
+    }
+
+    #[test]
+    fn scale_from_flags_rejects_malformed_values() {
+        let flags = Flags::parse(["--theta", "wide"].iter().map(|s| s.to_string()));
+        let err = GridScale::try_from_flags(&flags).expect_err("wide is not a number");
+        assert_eq!(err.flag, "theta");
+        let flags = Flags::parse(["--n", "many"].iter().map(|s| s.to_string()));
+        assert!(GridScale::try_from_flags(&flags).is_err());
     }
 
     #[test]

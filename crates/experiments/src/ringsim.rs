@@ -7,9 +7,11 @@
 //! the innermost `N` nodes; the cell's outcome is the distribution of
 //! those per-topology values (the paper plots mean plus min–max range).
 
-use crate::pool::parallel_indexed;
+use std::fmt;
+
+use crate::pool::parallel_indexed_catch;
 use dirca_mac::{MacConfig, Scheme};
-use dirca_net::{run, SimConfig};
+use dirca_net::{run, run_guarded, FaultPlan, RunAborted, RunResult, SimConfig, Watchdog};
 use dirca_radio::ReceptionMode;
 use dirca_sim::{rng::derive_seed, rng::stream_rng, SimDuration};
 use dirca_stats::{jain_index, Summary};
@@ -37,6 +39,8 @@ pub struct RingExperiment {
     pub reception: ReceptionMode,
     /// MAC behaviour knobs (retry limits, EIFS, NAV handling).
     pub mac: MacConfig,
+    /// Deterministic channel faults to inject (trivial = perfect channel).
+    pub fault: FaultPlan,
 }
 
 impl RingExperiment {
@@ -53,6 +57,7 @@ impl RingExperiment {
             measure: SimDuration::from_secs(10),
             reception: ReceptionMode::Omni,
             mac: MacConfig::default(),
+            fault: FaultPlan::default(),
         }
     }
 
@@ -83,6 +88,73 @@ pub struct RingOutcome {
     pub jain: Summary,
 }
 
+/// Why a cell could not produce its samples. Failures name the lowest
+/// failing topology index, so reports carry a reproducible coordinate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellFailure {
+    /// A topology's simulation panicked; the payload is captured as text.
+    Panicked {
+        /// Index of the panicking topology.
+        topology: usize,
+        /// The stringified panic payload.
+        message: String,
+    },
+    /// A topology's simulation tripped the watchdog budget.
+    TimedOut {
+        /// Index of the runaway topology.
+        topology: usize,
+        /// The structured abort report from the engine.
+        aborted: RunAborted,
+    },
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellFailure::Panicked { topology, message } => {
+                write!(f, "panicked in topology {topology}: {message}")
+            }
+            CellFailure::TimedOut { topology, aborted } => {
+                write!(f, "timed out in topology {topology}: {aborted}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CellFailure {}
+
+/// Guard rails for one cell run: an optional per-topology watchdog budget,
+/// plus a drill switch that makes topology 0 panic on purpose (used by the
+/// CI fault drill to prove the isolation path end to end).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CellGuards {
+    /// Event/sim-time budget applied to every topology simulation.
+    pub watchdog: Option<Watchdog>,
+    /// Deliberately panic in topology 0 instead of simulating.
+    pub drill_panic: bool,
+}
+
+impl RingOutcome {
+    /// Aggregates per-topology samples (in index order) into the cell's
+    /// metric distributions.
+    pub fn from_samples(samples: &[TopologySample]) -> Self {
+        let mut agg = RingOutcome::default();
+        for sample in samples {
+            agg.throughput.push(sample.throughput);
+            if let Some(d) = sample.delay_ms {
+                agg.delay_ms.push(d);
+            }
+            if let Some(c) = sample.collision_ratio {
+                agg.collision_ratio.push(c);
+            }
+            if let Some(j) = sample.jain {
+                agg.jain.push(j);
+            }
+        }
+        agg
+    }
+}
+
 /// Runs one cell, spreading topologies over `threads` workers.
 ///
 /// Results are deterministic for a given (`experiment`, `threads`-
@@ -91,38 +163,72 @@ pub struct RingOutcome {
 ///
 /// # Panics
 ///
-/// Panics if a topology satisfying the paper's degree constraints cannot
-/// be found (see [`dirca_topology::RingSpec::generate`]).
+/// Panics if any topology fails (see [`try_run_cell`] for the isolating
+/// variant), including when a degree-constrained topology cannot be
+/// generated.
 pub fn run_cell(experiment: &RingExperiment, threads: usize) -> RingOutcome {
-    let samples = parallel_indexed(experiment.topologies, threads, |t| {
-        run_one_topology(experiment, t)
+    let samples = try_run_cell(experiment, threads, &CellGuards::default())
+        .unwrap_or_else(|failure| panic!("cell failed: {failure}"));
+    RingOutcome::from_samples(&samples)
+}
+
+/// Runs one cell with per-topology panic isolation and an optional
+/// watchdog, returning the raw per-topology samples in index order.
+///
+/// On failure the *lowest* failing topology index is reported, so the
+/// outcome is deterministic regardless of which worker thread hit the
+/// failure first.
+pub fn try_run_cell(
+    experiment: &RingExperiment,
+    threads: usize,
+    guards: &CellGuards,
+) -> Result<Vec<TopologySample>, CellFailure> {
+    let outcomes = parallel_indexed_catch(experiment.topologies, threads, |t| {
+        if guards.drill_panic && t == 0 {
+            panic!("drill: injected cell panic");
+        }
+        run_one_topology(experiment, t, guards.watchdog)
     });
-    let mut agg = RingOutcome::default();
-    for sample in samples {
-        agg.throughput.push(sample.throughput);
-        if let Some(d) = sample.delay_ms {
-            agg.delay_ms.push(d);
-        }
-        if let Some(c) = sample.collision_ratio {
-            agg.collision_ratio.push(c);
-        }
-        if let Some(j) = sample.jain {
-            agg.jain.push(j);
+    let mut samples = Vec::with_capacity(outcomes.len());
+    for (t, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(Ok(sample)) => samples.push(sample),
+            Ok(Err(aborted)) => {
+                return Err(CellFailure::TimedOut {
+                    topology: t,
+                    aborted,
+                })
+            }
+            Err(panic) => {
+                return Err(CellFailure::Panicked {
+                    topology: t,
+                    message: panic.message,
+                })
+            }
         }
     }
-    agg
+    Ok(samples)
 }
 
-/// Per-topology metric sample.
-#[derive(Debug, Clone, Copy)]
-struct TopologySample {
-    throughput: f64,
-    delay_ms: Option<f64>,
-    collision_ratio: Option<f64>,
-    jain: Option<f64>,
+/// Per-topology metric sample — the raw material of a [`RingOutcome`] and
+/// the unit stored in runner checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologySample {
+    /// Aggregate inner-node throughput normalized to the channel bit rate.
+    pub throughput: f64,
+    /// Mean MAC service delay in milliseconds, if anything was delivered.
+    pub delay_ms: Option<f64>,
+    /// Collision ratio, if any handshake reached the data stage.
+    pub collision_ratio: Option<f64>,
+    /// Jain fairness index, if computable.
+    pub jain: Option<f64>,
 }
 
-fn run_one_topology(experiment: &RingExperiment, index: usize) -> TopologySample {
+fn run_one_topology(
+    experiment: &RingExperiment,
+    index: usize,
+    watchdog: Option<Watchdog>,
+) -> Result<TopologySample, RunAborted> {
     let spec = RingSpec::paper(experiment.n_avg, 1.0);
     let mut topo_rng = stream_rng(derive_seed(experiment.seed, 0xA11CE), index as u64);
     let topology = spec
@@ -133,16 +239,20 @@ fn run_one_topology(experiment: &RingExperiment, index: usize) -> TopologySample
         .with_reception(experiment.reception)
         .with_seed(derive_seed(experiment.seed, 0xB0B + index as u64))
         .with_warmup(experiment.warmup)
-        .with_measure(experiment.measure);
+        .with_measure(experiment.measure)
+        .with_fault(experiment.fault.clone());
     config.mac = experiment.mac.clone();
-    let result = run(&topology, &config);
+    let result: RunResult = match watchdog {
+        None => run(&topology, &config),
+        Some(w) => run_guarded(&topology, &config, w)?,
+    };
     let bit_rate = config.params.bit_rate_bps as f64;
-    TopologySample {
+    Ok(TopologySample {
         throughput: result.aggregate_throughput_bps() / bit_rate,
         delay_ms: result.mean_delay().map(|d| d.as_secs_f64() * 1e3),
         collision_ratio: result.collision_ratio(),
         jain: jain_index(&result.node_throughputs_bps()),
-    }
+    })
 }
 
 /// The paper's Figs. 6/7 grid: `N ∈ {3, 5, 8}` × `θ ∈ {30°, 90°, 150°}` ×
@@ -200,6 +310,90 @@ mod tests {
         assert!(out.jain.count() > 0, "fairness samples missing");
         let j = out.jain.mean().unwrap();
         assert!(j > 0.0 && j <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn try_run_cell_matches_run_cell_on_healthy_cells() {
+        let exp = tiny(Scheme::OrtsOcts, 3, 90.0);
+        let samples = try_run_cell(&exp, 2, &CellGuards::default()).unwrap();
+        assert_eq!(samples.len(), 2);
+        let direct = run_cell(&exp, 2);
+        let rebuilt = RingOutcome::from_samples(&samples);
+        assert_eq!(direct.throughput.min(), rebuilt.throughput.min());
+        assert_eq!(direct.throughput.max(), rebuilt.throughput.max());
+    }
+
+    #[test]
+    fn try_run_cell_samples_identical_across_thread_counts() {
+        let exp = tiny(Scheme::DrtsOcts, 3, 90.0);
+        let a = try_run_cell(&exp, 1, &CellGuards::default()).unwrap();
+        let b = try_run_cell(&exp, 4, &CellGuards::default()).unwrap();
+        assert_eq!(a, b, "samples must not depend on the thread count");
+    }
+
+    #[test]
+    fn drill_panic_is_reported_with_its_topology() {
+        let exp = tiny(Scheme::OrtsOcts, 3, 90.0);
+        let guards = CellGuards {
+            drill_panic: true,
+            ..CellGuards::default()
+        };
+        let failure = try_run_cell(&exp, 2, &guards).unwrap_err();
+        match failure {
+            CellFailure::Panicked { topology, message } => {
+                assert_eq!(topology, 0);
+                assert!(message.contains("drill"), "{message}");
+            }
+            other => panic!("expected a panic failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn starved_watchdog_times_the_cell_out() {
+        let exp = tiny(Scheme::OrtsOcts, 3, 90.0);
+        let guards = CellGuards {
+            watchdog: Some(Watchdog::max_events(50)),
+            ..CellGuards::default()
+        };
+        let failure = try_run_cell(&exp, 2, &guards).unwrap_err();
+        match failure {
+            CellFailure::TimedOut { topology, aborted } => {
+                assert_eq!(topology, 0, "the lowest index must be reported");
+                assert_eq!(aborted.events, 50);
+            }
+            other => panic!("expected a timeout failure, got {other:?}"),
+        }
+        assert!(failure.to_string().contains("timed out in topology 0"));
+    }
+
+    #[test]
+    fn generous_watchdog_is_invisible() {
+        let exp = tiny(Scheme::OrtsOcts, 3, 90.0);
+        let guards = CellGuards {
+            watchdog: Some(Watchdog::max_events(u64::MAX)),
+            ..CellGuards::default()
+        };
+        let guarded = try_run_cell(&exp, 2, &guards).unwrap();
+        let free = try_run_cell(&exp, 2, &CellGuards::default()).unwrap();
+        assert_eq!(guarded, free);
+    }
+
+    #[test]
+    fn faulted_cell_is_deterministic_and_degraded() {
+        let clean = tiny(Scheme::OrtsOcts, 3, 90.0);
+        let noisy = RingExperiment {
+            fault: FaultPlan::default().with_frame_error_rate(0.3),
+            ..clean.clone()
+        };
+        let a = try_run_cell(&noisy, 1, &CellGuards::default()).unwrap();
+        let b = try_run_cell(&noisy, 4, &CellGuards::default()).unwrap();
+        assert_eq!(a, b, "faulted samples must be thread-count independent");
+        let clean_out = run_cell(&clean, 2);
+        let noisy_out = RingOutcome::from_samples(&a);
+        assert!(
+            noisy_out.throughput.mean().unwrap() < clean_out.throughput.mean().unwrap(),
+            "a 30% FER must cost throughput"
+        );
     }
 
     #[test]

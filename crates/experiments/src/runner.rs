@@ -1,0 +1,970 @@
+//! Fault-tolerant grid runner: per-cell isolation, JSONL checkpointing,
+//! and resume.
+//!
+//! The Figs. 6/7 grid is hours of CPU at paper scale; one panicking cell
+//! or a runaway simulation must not throw the rest away. This module runs
+//! each (N, θ, scheme) cell through [`try_run_cell`] — panics are caught
+//! per topology, an optional [`Watchdog`] bounds runaway simulations — and
+//! appends each cell's outcome to a checkpoint file as one JSON line.
+//! `--resume` replays the checkpoint, re-runs only missing or failed
+//! cells, and produces a final report identical to an uninterrupted run
+//! (per-cell results are deterministic, so order of completion is
+//! irrelevant).
+//!
+//! The checkpoint format is a deliberately small JSON subset (objects,
+//! arrays, strings, numbers, `null`) written and parsed by hand — no
+//! serialization dependency, and strict typed errors instead of silent
+//! tolerance. Floats round-trip exactly through Rust's shortest-
+//! representation `Display`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use dirca_mac::Scheme;
+use dirca_net::Watchdog;
+use dirca_sim::AbortReason;
+
+use crate::cli::{Flags, UsageError};
+use crate::report::GridScale;
+use crate::ringsim::{try_run_cell, CellFailure, CellGuards, TopologySample};
+
+/// One grid coordinate: density × beamwidth × scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Neighbourhood size `N`.
+    pub n: usize,
+    /// Beamwidth θ in degrees.
+    pub theta: f64,
+    /// Collision-avoidance scheme.
+    pub scheme: Scheme,
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N={} θ={}° {}", self.n, self.theta, self.scheme)
+    }
+}
+
+impl Cell {
+    /// Parses the `--inject-*` flag syntax `n,theta,scheme`, e.g.
+    /// `3,90,ORTS-OCTS`.
+    pub fn parse(text: &str) -> Option<Cell> {
+        let mut parts = text.split(',');
+        let n = parts.next()?.trim().parse().ok()?;
+        let theta = parts.next()?.trim().parse().ok()?;
+        let scheme = parts.next()?.trim().parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(Cell { n, theta, scheme })
+    }
+
+    fn key(&self) -> CellKey {
+        (self.n, self.theta.to_bits(), self.scheme as u8)
+    }
+}
+
+type CellKey = (usize, u64, u8);
+
+/// The outcome of one cell under the runner.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Which cell.
+    pub cell: Cell,
+    /// How many attempts were spent this invocation (0 when restored from
+    /// a checkpoint).
+    pub attempts: u32,
+    /// The samples, or why they could not be produced.
+    pub result: Result<Vec<TopologySample>, CellFailure>,
+}
+
+/// What a [`run_grid`] invocation did.
+#[derive(Debug)]
+pub struct GridRun {
+    /// Per-cell outcomes in deterministic grid order (restored cells
+    /// included), covering every cell that was reached.
+    pub outcomes: Vec<CellOutcome>,
+    /// Cells actually executed (not restored) this invocation.
+    pub executed: usize,
+    /// Cells restored from the checkpoint.
+    pub restored: usize,
+    /// Whether `--max-cells` stopped the run before the grid completed.
+    pub stopped_early: bool,
+}
+
+impl GridRun {
+    /// The outcomes that failed, in grid order.
+    pub fn failures(&self) -> Vec<&CellOutcome> {
+        self.outcomes.iter().filter(|o| o.result.is_err()).collect()
+    }
+
+    /// Renders the failed cells with their coordinates, one per line.
+    /// Empty string when everything succeeded.
+    pub fn render_failures(&self) -> String {
+        let failures = self.failures();
+        if failures.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("FAILED CELLS\n");
+        for o in failures {
+            let failure = o.result.as_ref().expect_err("filtered to failures");
+            out.push_str(&format!(
+                "  {} — {} (attempts: {})\n",
+                o.cell, failure, o.attempts
+            ));
+        }
+        out
+    }
+}
+
+/// Runner policy, usually built from command-line flags.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Worker threads per cell.
+    pub threads: usize,
+    /// Extra attempts for a failed cell beyond the first (the simulations
+    /// are deterministic, so retries only help against environmental
+    /// failures — resource exhaustion, not logic bugs).
+    pub retries: u32,
+    /// Watchdog budget applied to every topology simulation.
+    pub watchdog: Option<Watchdog>,
+    /// Checkpoint file to write (and resume from).
+    pub checkpoint: Option<PathBuf>,
+    /// Re-use completed cells from the checkpoint instead of starting
+    /// over.
+    pub resume: bool,
+    /// Stop after executing this many cells this invocation.
+    pub max_cells: Option<usize>,
+    /// Drill switch: this cell deliberately panics (topology 0).
+    pub inject_panic: Option<Cell>,
+    /// Drill switch: this cell runs under a starvation watchdog.
+    pub inject_timeout: Option<Cell>,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            threads: 1,
+            retries: 1,
+            watchdog: None,
+            checkpoint: None,
+            resume: false,
+            max_cells: None,
+            inject_panic: None,
+            inject_timeout: None,
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// Builds the runner policy from flags: `--threads`, `--retries`,
+    /// `--events-budget`, `--checkpoint PATH`, `--resume`, `--max-cells`,
+    /// and the drill switches `--inject-panic n,theta,scheme` /
+    /// `--inject-timeout n,theta,scheme`.
+    pub fn try_from_flags(flags: &Flags) -> Result<Self, UsageError> {
+        let parse_cell = |flag: &str| -> Result<Option<Cell>, UsageError> {
+            match flags.get(flag) {
+                None => Ok(None),
+                Some(v) => Cell::parse(v).map(Some).ok_or_else(|| UsageError {
+                    flag: flag.to_string(),
+                    expected: "a cell as n,theta,scheme",
+                    got: v.to_string(),
+                }),
+            }
+        };
+        let events_budget = flags.try_get_u64("events-budget", 0)?;
+        Ok(RunnerConfig {
+            threads: flags.try_get_usize(
+                "threads",
+                std::thread::available_parallelism().map_or(4, |n| n.get()),
+            )?,
+            retries: u32::try_from(flags.try_get_usize("retries", 1)?).unwrap_or(u32::MAX),
+            watchdog: (events_budget > 0).then(|| Watchdog::max_events(events_budget)),
+            checkpoint: flags.get("checkpoint").map(PathBuf::from),
+            resume: flags.has("resume"),
+            max_cells: match flags.try_get_usize("max-cells", 0)? {
+                0 => None,
+                k => Some(k),
+            },
+            inject_panic: parse_cell("inject-panic")?,
+            inject_timeout: parse_cell("inject-timeout")?,
+        })
+    }
+}
+
+/// The deterministic cell order of a grid: densities × beamwidths ×
+/// schemes, exactly as the reports iterate them.
+pub fn enumerate_cells(scale: &GridScale) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &n in &scale.densities {
+        for &theta in &scale.beamwidths {
+            for scheme in Scheme::ALL {
+                cells.push(Cell { n, theta, scheme });
+            }
+        }
+    }
+    cells
+}
+
+/// FNV-1a over the scale parameters that determine cell results. Thread
+/// count is deliberately excluded: results are thread-count independent,
+/// so a checkpoint taken at `--threads 1` resumes fine at `--threads 8`.
+pub fn grid_fingerprint(scale: &GridScale) -> String {
+    let canon = format!(
+        "topologies={};measure={:?};warmup={:?};seed={};densities={:?};beamwidths={:?}",
+        scale.topologies,
+        scale.measure,
+        scale.warmup,
+        scale.seed,
+        scale.densities,
+        scale.beamwidths
+    );
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canon.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint errors.
+// ---------------------------------------------------------------------
+
+/// Why a checkpoint could not be written or replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Filesystem failure (message carries the OS error text).
+    Io {
+        /// The checkpoint path.
+        path: String,
+        /// What failed.
+        what: String,
+    },
+    /// The first line is not a valid checkpoint header.
+    MissingHeader,
+    /// The checkpoint was taken for a different grid configuration.
+    FingerprintMismatch {
+        /// Fingerprint of the requested grid.
+        expected: String,
+        /// Fingerprint recorded in the file.
+        found: String,
+    },
+    /// A line is not valid checkpoint JSON.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What the parser choked on.
+        what: String,
+    },
+    /// A line parsed as JSON but is not a valid record.
+    BadRecord {
+        /// 1-based line number.
+        line: usize,
+        /// Which field or value is wrong.
+        what: String,
+    },
+    /// A record names a cell outside the requested grid.
+    UnknownCell {
+        /// 1-based line number.
+        line: usize,
+        /// The offending cell, rendered.
+        cell: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, what } => {
+                write!(f, "checkpoint {path}: {what}")
+            }
+            CheckpointError::MissingHeader => {
+                write!(f, "checkpoint: missing or malformed header line")
+            }
+            CheckpointError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different grid (fingerprint {found}, expected {expected})"
+            ),
+            CheckpointError::Syntax { line, what } => {
+                write!(f, "checkpoint line {line}: syntax error: {what}")
+            }
+            CheckpointError::BadRecord { line, what } => {
+                write!(f, "checkpoint line {line}: bad record: {what}")
+            }
+            CheckpointError::UnknownCell { line, cell } => {
+                write!(f, "checkpoint line {line}: cell {cell} is not in this grid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+// ---------------------------------------------------------------------
+// Minimal JSON subset: null, numbers, strings, arrays, objects.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_usize(&self) -> Option<usize> {
+        let v = self.as_f64()?;
+        if !(0.0..=usize::MAX as f64).contains(&v) {
+            return None;
+        }
+        // Exact integrality check without a float comparison: the cast
+        // truncates, so the round trip is bit-identical iff `v` already
+        // was that integer.
+        let n = v as usize;
+        ((n as f64).to_bits() == v.to_bits()).then_some(n)
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}",
+                char::from(b),
+                self.pos
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err(format!("bad literal at offset {}", self.pos))
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unmodified).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number bytes")?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?}"))
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Record rendering and parsing.
+// ---------------------------------------------------------------------
+
+fn header_line(fingerprint: &str) -> String {
+    format!("{{\"dirca_checkpoint\":1,\"fingerprint\":\"{fingerprint}\"}}")
+}
+
+fn opt_num(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v}"),
+        None => "null".into(),
+    }
+}
+
+fn record_line(cell: &Cell, result: &Result<Vec<TopologySample>, CellFailure>) -> String {
+    let head = format!(
+        "{{\"n\":{},\"theta\":{},\"scheme\":\"{}\"",
+        cell.n, cell.theta, cell.scheme
+    );
+    match result {
+        Ok(samples) => {
+            let body: Vec<String> = samples
+                .iter()
+                .map(|s| {
+                    format!(
+                        "[{},{},{},{}]",
+                        s.throughput,
+                        opt_num(s.delay_ms),
+                        opt_num(s.collision_ratio),
+                        opt_num(s.jain)
+                    )
+                })
+                .collect();
+            format!(
+                "{head},\"status\":\"ok\",\"samples\":[{}]}}",
+                body.join(",")
+            )
+        }
+        Err(CellFailure::Panicked { topology, message }) => format!(
+            "{head},\"status\":\"panicked\",\"topology\":{topology},\"message\":\"{}\"}}",
+            escape_json(message)
+        ),
+        Err(CellFailure::TimedOut { topology, aborted }) => {
+            let reason = match aborted.reason {
+                AbortReason::MaxEvents => "max_events",
+                AbortReason::MaxSimTime => "max_sim_time",
+            };
+            format!(
+                "{head},\"status\":\"timed_out\",\"topology\":{topology},\"reason\":\"{reason}\",\"events\":{},\"at_ns\":{}}}",
+                aborted.events,
+                aborted.now.as_nanos()
+            )
+        }
+    }
+}
+
+fn bad(line: usize, what: impl Into<String>) -> CheckpointError {
+    CheckpointError::BadRecord {
+        line,
+        what: what.into(),
+    }
+}
+
+fn parse_record(
+    line_no: usize,
+    json: &Json,
+) -> Result<(Cell, Option<Vec<TopologySample>>), CheckpointError> {
+    let n = json
+        .get("n")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| bad(line_no, "missing or non-integer 'n'"))?;
+    let theta = json
+        .get("theta")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| bad(line_no, "missing or non-numeric 'theta'"))?;
+    let scheme: Scheme = json
+        .get("scheme")
+        .and_then(Json::as_str)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(line_no, "missing or unknown 'scheme'"))?;
+    let cell = Cell { n, theta, scheme };
+    let status = json
+        .get("status")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad(line_no, "missing 'status'"))?;
+    match status {
+        "ok" => {
+            let raw = match json.get("samples") {
+                Some(Json::Arr(items)) => items,
+                _ => return Err(bad(line_no, "'ok' record without 'samples' array")),
+            };
+            let mut samples = Vec::with_capacity(raw.len());
+            for item in raw {
+                let tuple = match item {
+                    Json::Arr(vs) if vs.len() == 4 => vs,
+                    _ => return Err(bad(line_no, "sample is not a 4-element array")),
+                };
+                let opt = |j: &Json| -> Result<Option<f64>, CheckpointError> {
+                    match j {
+                        Json::Null => Ok(None),
+                        Json::Num(v) => Ok(Some(*v)),
+                        _ => Err(bad(line_no, "sample field is neither number nor null")),
+                    }
+                };
+                samples.push(TopologySample {
+                    throughput: tuple[0]
+                        .as_f64()
+                        .ok_or_else(|| bad(line_no, "non-numeric throughput"))?,
+                    delay_ms: opt(&tuple[1])?,
+                    collision_ratio: opt(&tuple[2])?,
+                    jain: opt(&tuple[3])?,
+                });
+            }
+            Ok((cell, Some(samples)))
+        }
+        // Failed cells are recorded for diagnosis but never restored: the
+        // resume pass re-runs them.
+        "panicked" | "timed_out" => Ok((cell, None)),
+        other => Err(bad(line_no, format!("unknown status {other:?}"))),
+    }
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> CheckpointError {
+    CheckpointError::Io {
+        path: path.display().to_string(),
+        what: e.to_string(),
+    }
+}
+
+/// Replays a checkpoint: validates the header fingerprint and returns the
+/// completed cells' samples (later records for the same cell win, so a
+/// retried cell restores its newest outcome).
+fn load_checkpoint(
+    path: &Path,
+    fingerprint: &str,
+    grid: &[Cell],
+) -> Result<BTreeMap<CellKey, Vec<TopologySample>>, CheckpointError> {
+    let file = File::open(path).map_err(|e| io_err(path, e))?;
+    let mut lines = BufReader::new(file).lines().enumerate();
+    let header = match lines.next() {
+        Some((_, Ok(text))) => {
+            JsonParser::parse(&text).map_err(|_| CheckpointError::MissingHeader)?
+        }
+        Some((_, Err(e))) => return Err(io_err(path, e)),
+        None => return Err(CheckpointError::MissingHeader),
+    };
+    if header.get("dirca_checkpoint").and_then(Json::as_usize) != Some(1) {
+        return Err(CheckpointError::MissingHeader);
+    }
+    let found = header
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or(CheckpointError::MissingHeader)?;
+    if found != fingerprint {
+        return Err(CheckpointError::FingerprintMismatch {
+            expected: fingerprint.to_string(),
+            found: found.to_string(),
+        });
+    }
+    let mut done = BTreeMap::new();
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let text = line.map_err(|e| io_err(path, e))?;
+        if text.trim().is_empty() {
+            continue; // a torn final write leaves at most a blank tail
+        }
+        let json = JsonParser::parse(&text).map_err(|what| CheckpointError::Syntax {
+            line: line_no,
+            what,
+        })?;
+        let (cell, samples) = parse_record(line_no, &json)?;
+        if !grid.iter().any(|c| c.key() == cell.key()) {
+            return Err(CheckpointError::UnknownCell {
+                line: line_no,
+                cell: cell.to_string(),
+            });
+        }
+        match samples {
+            Some(s) => {
+                done.insert(cell.key(), s);
+            }
+            None => {
+                // A newer failure supersedes an older success only if the
+                // cell was re-run and failed — keep the latest verdict.
+                done.remove(&cell.key());
+            }
+        }
+    }
+    Ok(done)
+}
+
+// ---------------------------------------------------------------------
+// The runner.
+// ---------------------------------------------------------------------
+
+/// Runs every cell of `scale`'s grid under the runner policy.
+///
+/// Cells already completed in the checkpoint (when resuming) are restored
+/// without re-execution. Each remaining cell runs under panic isolation
+/// and the configured watchdog, with up to `retries` extra attempts; its
+/// outcome is appended to the checkpoint before the next cell starts, so
+/// an interruption at any point loses at most one cell of work.
+pub fn run_grid(scale: &GridScale, config: &RunnerConfig) -> Result<GridRun, CheckpointError> {
+    let cells = enumerate_cells(scale);
+    let fingerprint = grid_fingerprint(scale);
+    let mut done: BTreeMap<CellKey, Vec<TopologySample>> = BTreeMap::new();
+    let mut sink: Option<File> = None;
+    if let Some(path) = &config.checkpoint {
+        if config.resume && path.exists() {
+            done = load_checkpoint(path, &fingerprint, &cells)?;
+            sink = Some(
+                OpenOptions::new()
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| io_err(path, e))?,
+            );
+        } else {
+            let mut file = File::create(path).map_err(|e| io_err(path, e))?;
+            writeln!(file, "{}", header_line(&fingerprint)).map_err(|e| io_err(path, e))?;
+            sink = Some(file);
+        }
+    }
+    let restored = done.len();
+    let mut outcomes = Vec::with_capacity(cells.len());
+    let mut executed = 0usize;
+    let mut stopped_early = false;
+    for cell in &cells {
+        if let Some(samples) = done.get(&cell.key()) {
+            outcomes.push(CellOutcome {
+                cell: *cell,
+                attempts: 0,
+                result: Ok(samples.clone()),
+            });
+            continue;
+        }
+        if config.max_cells.is_some_and(|k| executed >= k) {
+            stopped_early = true;
+            break;
+        }
+        executed += 1;
+        let experiment = scale.cell(cell.scheme, cell.n, cell.theta);
+        let drilled_timeout = config.inject_timeout.is_some_and(|c| c.key() == cell.key());
+        let guards = CellGuards {
+            watchdog: if drilled_timeout {
+                // A budget no simulation can fit in: forces the timeout
+                // path deterministically.
+                Some(Watchdog::max_events(1))
+            } else {
+                config.watchdog
+            },
+            drill_panic: config.inject_panic.is_some_and(|c| c.key() == cell.key()),
+        };
+        let mut attempts = 0u32;
+        let result = loop {
+            attempts += 1;
+            match try_run_cell(&experiment, config.threads, &guards) {
+                Ok(samples) => break Ok(samples),
+                Err(failure) if attempts > config.retries => break Err(failure),
+                Err(_) => continue,
+            }
+        };
+        if let (Some(file), Some(path)) = (sink.as_mut(), config.checkpoint.as_ref()) {
+            writeln!(file, "{}", record_line(cell, &result)).map_err(|e| io_err(path, e))?;
+            file.flush().map_err(|e| io_err(path, e))?;
+        }
+        outcomes.push(CellOutcome {
+            cell: *cell,
+            attempts,
+            result,
+        });
+    }
+    Ok(GridRun {
+        outcomes,
+        executed,
+        restored,
+        stopped_early,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirca_sim::SimTime;
+
+    #[test]
+    fn json_subset_round_trips_records() {
+        let cell = Cell {
+            n: 3,
+            theta: 90.0,
+            scheme: Scheme::OrtsOcts,
+        };
+        let samples = vec![
+            TopologySample {
+                throughput: 0.123456789,
+                delay_ms: Some(1.5),
+                collision_ratio: None,
+                jain: Some(0.875),
+            },
+            TopologySample {
+                throughput: 0.2,
+                delay_ms: None,
+                collision_ratio: Some(0.1),
+                jain: None,
+            },
+        ];
+        let line = record_line(&cell, &Ok(samples.clone()));
+        let json = JsonParser::parse(&line).unwrap();
+        let (back_cell, back) = parse_record(2, &json).unwrap();
+        assert_eq!(back_cell, cell);
+        assert_eq!(back.unwrap(), samples, "floats must round-trip exactly");
+    }
+
+    #[test]
+    fn failure_records_parse_but_do_not_restore() {
+        let cell = Cell {
+            n: 5,
+            theta: 150.0,
+            scheme: Scheme::DrtsDcts,
+        };
+        let panicked = record_line(
+            &cell,
+            &Err(CellFailure::Panicked {
+                topology: 3,
+                message: "weird \"quoted\"\npayload".into(),
+            }),
+        );
+        let json = JsonParser::parse(&panicked).unwrap();
+        let (_, restored) = parse_record(2, &json).unwrap();
+        assert!(restored.is_none());
+        let timed = record_line(
+            &cell,
+            &Err(CellFailure::TimedOut {
+                topology: 0,
+                aborted: dirca_net::RunAborted {
+                    reason: AbortReason::MaxEvents,
+                    events: 7,
+                    now: SimTime::from_micros(9),
+                },
+            }),
+        );
+        let json = JsonParser::parse(&timed).unwrap();
+        let (_, restored) = parse_record(3, &json).unwrap();
+        assert!(restored.is_none());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "not json",
+            "{\"n\":3",
+            "{\"n\":3,\"theta\":90,\"scheme\":\"ORTS-OCTS\"}",
+            "{\"n\":3,\"theta\":90,\"scheme\":\"ORTS-OCTS\",\"status\":\"weird\"}",
+            "{\"n\":3,\"theta\":90,\"scheme\":\"BOGUS\",\"status\":\"ok\",\"samples\":[]}",
+        ] {
+            let parsed = JsonParser::parse(bad);
+            let failed = match parsed {
+                Err(_) => true,
+                Ok(json) => parse_record(1, &json).is_err(),
+            };
+            assert!(failed, "must reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn cell_parse_round_trips_flag_syntax() {
+        let cell = Cell::parse("3,90,ORTS-OCTS").unwrap();
+        assert_eq!(
+            cell,
+            Cell {
+                n: 3,
+                theta: 90.0,
+                scheme: Scheme::OrtsOcts
+            }
+        );
+        assert!(Cell::parse("3,90").is_none());
+        assert!(Cell::parse("3,90,ORTS-OCTS,extra").is_none());
+        assert!(Cell::parse("x,90,ORTS-OCTS").is_none());
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads_but_not_seed() {
+        let scale = |seed, threads| GridScale {
+            topologies: 2,
+            measure: dirca_sim::SimDuration::from_millis(100),
+            warmup: dirca_sim::SimDuration::from_millis(10),
+            threads,
+            seed,
+            densities: vec![3],
+            beamwidths: vec![90.0],
+        };
+        assert_eq!(
+            grid_fingerprint(&scale(1, 1)),
+            grid_fingerprint(&scale(1, 8))
+        );
+        assert_ne!(
+            grid_fingerprint(&scale(1, 1)),
+            grid_fingerprint(&scale(2, 1))
+        );
+    }
+
+    #[test]
+    fn enumerate_matches_report_order() {
+        let scale = GridScale {
+            topologies: 1,
+            measure: dirca_sim::SimDuration::from_millis(100),
+            warmup: dirca_sim::SimDuration::ZERO,
+            threads: 1,
+            seed: 0,
+            densities: vec![3, 5],
+            beamwidths: vec![30.0, 90.0],
+        };
+        let cells = enumerate_cells(&scale);
+        assert_eq!(cells.len(), 2 * 2 * 3);
+        assert_eq!(cells[0].n, 3);
+        assert_eq!(cells[0].theta, 30.0);
+        assert_eq!(cells[0].scheme, Scheme::OrtsOcts);
+        assert_eq!(cells.last().unwrap().n, 5);
+    }
+}

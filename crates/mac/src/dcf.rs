@@ -620,6 +620,9 @@ mod tests {
         delivered: Vec<Frame>,
         done: Vec<(DataPacket, bool)>,
         draw: u32,
+        /// Every contention window the MAC drew from, in order — lets
+        /// tests pin the exponential-backoff progression and its reset.
+        cw_draws: Vec<u32>,
     }
 
     impl MockCtx {
@@ -632,6 +635,7 @@ mod tests {
                 delivered: Vec::new(),
                 done: Vec::new(),
                 draw: 0,
+                cw_draws: Vec::new(),
             }
         }
 
@@ -675,6 +679,7 @@ mod tests {
             self.timers.push((kind, gen, self.now + delay));
         }
         fn draw_backoff_slots(&mut self, cw: u32) -> u32 {
+            self.cw_draws.push(cw);
             self.draw.min(cw)
         }
         fn deliver(&mut self, frame: &Frame) {
@@ -882,6 +887,121 @@ mod tests {
         assert_eq!(ctx.done.len(), 1);
         assert!(!ctx.done[0].1, "packet must be reported dropped");
         assert_eq!(m.counters().packets_dropped, 1);
+    }
+
+    /// Drives one full RTS/CTS/DATA leg whose ACK never arrives: backoff →
+    /// RTS → CTS in → SIFS → DATA → ACK timeout. Models a receiver whose
+    /// ACKs are lost on the return path (e.g. under injected frame errors).
+    fn drive_ack_loss_cycle(m: &mut DcfMac, ctx: &mut MockCtx) {
+        let p = params();
+        assert_eq!(ctx.fire_next_timer(m), TimerKind::Backoff);
+        let (_, rts, _) = *ctx.last_tx();
+        assert_eq!(rts.kind, FrameKind::Rts);
+        ctx.now += p.frame_airtime(&rts);
+        m.on_tx_done(ctx);
+        m.on_frame_received(Frame::cts(&rts, &p), ctx);
+        assert_eq!(ctx.fire_next_timer(m), TimerKind::Sifs);
+        ctx.now += p.frame_airtime_bytes(1460);
+        m.on_tx_done(ctx);
+        assert_eq!(ctx.fire_next_timer(m), TimerKind::AckTimeout);
+    }
+
+    #[test]
+    fn packet_dropped_after_long_retry_limit() {
+        // Every RTS gets its CTS but no DATA is ever acknowledged: the
+        // long retry counter must exhaust at its own (lower) limit.
+        let mut m = mac(Scheme::OrtsOcts);
+        let mut ctx = MockCtx::new();
+        m.enqueue(pkt(1), &mut ctx);
+        let limit = MacConfig::default().long_retry_limit;
+        for attempt in 0..=limit {
+            drive_ack_loss_cycle(&mut m, &mut ctx);
+            assert_eq!(m.counters().ack_timeouts, u64::from(attempt) + 1);
+        }
+        let c = m.counters();
+        assert_eq!(c.packets_dropped, 1);
+        assert_eq!(c.packets_acked, 0);
+        assert_eq!(c.rts_tx, u64::from(limit) + 1, "one RTS per data attempt");
+        assert_eq!(c.data_tx, u64::from(limit) + 1);
+        assert_eq!(
+            c.cts_timeouts, 0,
+            "CTS always arrived; only the ACK leg failed"
+        );
+        assert_eq!(ctx.done.len(), 1);
+        assert!(!ctx.done[0].1, "packet must be reported dropped");
+    }
+
+    #[test]
+    fn backoff_window_resets_after_drop() {
+        // Per IEEE 802.11, dropping a packet at the retry limit resets the
+        // contention window to CW_min: the next packet must not inherit the
+        // doubled window. The recorded draw windows pin the progression.
+        let mut m = mac(Scheme::OrtsOcts);
+        let mut ctx = MockCtx::new();
+        let p = params();
+        m.enqueue(pkt(1), &mut ctx);
+        let limit = MacConfig::default().short_retry_limit;
+        for _ in 0..=limit {
+            assert_eq!(ctx.fire_next_timer(&mut m), TimerKind::Backoff);
+            ctx.now += p.frame_airtime_bytes(p.rts_bytes);
+            m.on_tx_done(&mut ctx);
+            assert_eq!(ctx.fire_next_timer(&mut m), TimerKind::CtsTimeout);
+        }
+        assert_eq!(m.counters().packets_dropped, 1);
+        // CW doubled (capped at cw_max) after each of the failures.
+        let cw_min = p.cw_min;
+        let cw_max = p.cw_max;
+        let mut want = Vec::new();
+        let mut cw = cw_min;
+        for _ in 0..=limit {
+            want.push(cw);
+            cw = ((cw + 1) * 2 - 1).min(cw_max);
+        }
+        assert_eq!(ctx.cw_draws, want, "exponential window progression");
+        // A fresh packet after the drop starts back at CW_min.
+        m.enqueue(pkt(2), &mut ctx);
+        assert_eq!(ctx.fire_next_timer(&mut m), TimerKind::Backoff);
+        assert_eq!(
+            *ctx.cw_draws.last().unwrap(),
+            cw_min,
+            "post-drop draw must use the reset window"
+        );
+    }
+
+    #[test]
+    fn mixed_cts_and_ack_loss_counters() {
+        // One lost CTS, then one lost ACK, then a clean handshake: every
+        // counter must book exactly its own failure mode.
+        let mut m = mac(Scheme::OrtsOcts);
+        let mut ctx = MockCtx::new();
+        let p = params();
+        m.enqueue(pkt(1), &mut ctx);
+        // Attempt 1: RTS out, CTS lost.
+        assert_eq!(ctx.fire_next_timer(&mut m), TimerKind::Backoff);
+        ctx.now += p.frame_airtime_bytes(p.rts_bytes);
+        m.on_tx_done(&mut ctx);
+        assert_eq!(ctx.fire_next_timer(&mut m), TimerKind::CtsTimeout);
+        // Attempt 2: handshake reaches DATA, ACK lost.
+        drive_ack_loss_cycle(&mut m, &mut ctx);
+        // Attempt 3: clean.
+        assert_eq!(ctx.fire_next_timer(&mut m), TimerKind::Backoff);
+        let (_, rts, _) = *ctx.last_tx();
+        ctx.now += p.frame_airtime(&rts);
+        m.on_tx_done(&mut ctx);
+        m.on_frame_received(Frame::cts(&rts, &p), &mut ctx);
+        assert_eq!(ctx.fire_next_timer(&mut m), TimerKind::Sifs);
+        let (_, data, _) = *ctx.last_tx();
+        ctx.now += p.frame_airtime(&data);
+        m.on_tx_done(&mut ctx);
+        m.on_frame_received(Frame::ack(&data, &p), &mut ctx);
+        let c = m.counters();
+        assert_eq!(c.cts_timeouts, 1);
+        assert_eq!(c.ack_timeouts, 1);
+        assert_eq!(c.packets_acked, 1);
+        assert_eq!(c.packets_dropped, 0);
+        assert_eq!(c.rts_tx, 3);
+        assert_eq!(c.data_tx, 2);
+        assert!(ctx.done[0].1, "the packet eventually succeeded");
     }
 
     #[test]

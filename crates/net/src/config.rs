@@ -2,7 +2,7 @@
 
 use dirca_geometry::Beamwidth;
 use dirca_mac::{Dot11Params, MacConfig, Scheme};
-use dirca_radio::ReceptionMode;
+use dirca_radio::{FaultPlan, ReceptionMode};
 use dirca_sim::SimDuration;
 
 /// How each node's traffic source behaves.
@@ -66,6 +66,9 @@ pub struct SimConfig {
     pub warmup: SimDuration,
     /// Measurement window.
     pub measure: SimDuration,
+    /// Channel imperfections injected into the run. The default (trivial)
+    /// plan leaves the simulation byte-identical to a perfect channel.
+    pub fault: FaultPlan,
 }
 
 impl SimConfig {
@@ -85,6 +88,7 @@ impl SimConfig {
             record_delays: false,
             warmup: SimDuration::from_millis(500),
             measure: SimDuration::from_secs(10),
+            fault: FaultPlan::default(),
         }
     }
 
@@ -157,6 +161,13 @@ impl SimConfig {
         self.traffic = traffic;
         self
     }
+
+    /// Sets the fault-injection plan. Validity against the topology is
+    /// checked when the world is built.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +181,15 @@ mod tests {
         assert_eq!(c.traffic, TrafficModel::Saturated);
         assert_eq!(c.params, Dot11Params::dsss_2mbps());
         assert_eq!(c.reception, ReceptionMode::Omni);
+        assert!(c.fault.is_trivial(), "default channel must be perfect");
+    }
+
+    #[test]
+    fn fault_builder_installs_plan() {
+        let c = SimConfig::new(Scheme::OrtsOcts)
+            .with_fault(FaultPlan::default().with_frame_error_rate(0.1));
+        assert!(!c.fault.is_trivial());
+        assert_eq!(c.fault.frame_error_rate, 0.1);
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub use config::{SimConfig, TrafficModel};
 pub use result::{NodeReport, RunResult};
 pub use world::{AirtimeBreakdown, AppStats, NetEvent, NetWorld, TraceEntry};
 
+// Fault-injection plumbing, re-exported so experiment code can configure a
+// faulted run without depending on the radio crate directly.
+pub use dirca_radio::{FaultPlan, FaultPlanError, LinkFault, Outage};
+pub use dirca_sim::{RunAborted, Watchdog};
+
 use dirca_sim::{SimTime, Simulation};
 use dirca_topology::Topology;
 
@@ -70,6 +75,35 @@ pub fn run(topology: &Topology, config: &SimConfig) -> RunResult {
     sim.run_until(end);
     let events = sim.events_processed();
     RunResult::collect(sim.into_world(), config.measure, events)
+}
+
+/// Like [`run`], but the whole run (warm-up and measurement) executes
+/// under `watchdog`; a tripped budget returns the structured
+/// [`RunAborted`] instead of spinning or panicking, so sweep harnesses can
+/// report a stuck cell and move on.
+///
+/// # Panics
+///
+/// Panics on the same invalid inputs as [`run`].
+pub fn run_guarded(
+    topology: &Topology,
+    config: &SimConfig,
+    watchdog: Watchdog,
+) -> Result<RunResult, RunAborted> {
+    let world = NetWorld::build(topology, config);
+    let mut sim = Simulation::new(world);
+    sim.set_watchdog(Some(watchdog));
+    {
+        let (world, sched) = sim.world_and_scheduler_mut();
+        world.prime(sched);
+    }
+    let warmup_end = SimTime::ZERO + config.warmup;
+    sim.try_run_until(warmup_end)?;
+    sim.world_mut().reset_counters();
+    let end = warmup_end + config.measure;
+    sim.try_run_until(end)?;
+    let events = sim.events_processed();
+    Ok(RunResult::collect(sim.into_world(), config.measure, events))
 }
 
 #[cfg(test)]

@@ -17,6 +17,10 @@ pub struct NodeReport {
     pub counters: MacCounters,
     /// Poisson arrivals dropped at the source because the queue was full.
     pub queue_drops: u64,
+    /// Receptions lost at this node to the injected frame error rate.
+    pub fer_losses: u64,
+    /// Receptions lost at this node to its injected outage windows.
+    pub outage_losses: u64,
     /// Recorded end-to-end delays in seconds (empty unless
     /// `SimConfig::record_delays` was set).
     pub delay_samples: Vec<f64>,
@@ -59,6 +63,8 @@ impl RunResult {
                 measured: i < measured,
                 counters: mac.counters().clone(),
                 queue_drops: app.queue_drops,
+                fer_losses: app.fer_losses,
+                outage_losses: app.outage_losses,
                 delay_samples: app.delay_samples.clone(),
                 airtime: app.airtime,
             })
@@ -149,6 +155,19 @@ impl RunResult {
         self.measured_nodes().map(|n| n.queue_drops).sum()
     }
 
+    /// Total receptions lost to the injected frame error rate, over *all*
+    /// nodes (losses are booked at the receiver, which may lie outside the
+    /// measurement region). Zero on a perfect channel.
+    pub fn fer_losses(&self) -> u64 {
+        self.nodes.iter().map(|n| n.fer_losses).sum()
+    }
+
+    /// Total receptions lost to injected node outages, over all nodes.
+    /// Zero without an outage plan.
+    pub fn outage_losses(&self) -> u64 {
+        self.nodes.iter().map(|n| n.outage_losses).sum()
+    }
+
     /// All recorded end-to-end delays (seconds) of the measured nodes.
     /// Empty unless `SimConfig::record_delays` was set.
     pub fn delay_samples(&self) -> Vec<f64> {
@@ -209,6 +228,8 @@ mod tests {
                 ..MacCounters::new()
             },
             queue_drops: 3,
+            fer_losses: 2,
+            outage_losses: 1,
             delay_samples: vec![0.010; acked as usize],
             airtime: AirtimeBreakdown {
                 data: SimDuration::from_micros(acked * 6032),
@@ -262,6 +283,15 @@ mod tests {
         let r = result();
         assert_eq!(r.mean_e2e_delay(), Some(SimDuration::from_millis(25)));
         assert_eq!(r.queue_drops(), 6, "two measured nodes x 3 drops");
+    }
+
+    #[test]
+    fn fault_losses_sum_all_nodes() {
+        // Unlike the throughput metrics, fault losses are booked at every
+        // receiver, measured or not: three nodes x (2 fer + 1 outage).
+        let r = result();
+        assert_eq!(r.fer_losses(), 6);
+        assert_eq!(r.outage_losses(), 3);
     }
 
     #[test]

@@ -5,8 +5,13 @@ use rand::Rng;
 
 use dirca_geometry::Beamwidth;
 use dirca_mac::{DataPacket, DcfMac, Dot11Params, Frame, FrameKind, MacContext, TimerKind};
-use dirca_radio::{Channel, CoveragePlan, NodeId, SignalId, Transceiver, TxPattern};
-use dirca_sim::{rng::stream_rng, Scheduler, SimTime, TimerGeneration, World};
+use dirca_radio::{
+    Channel, CompiledFaults, CoveragePlan, NodeId, SignalId, Transceiver, TxPattern,
+};
+use dirca_sim::{
+    rng::{derive_seed, stream_rng},
+    Scheduler, SimTime, TimerGeneration, World,
+};
 use dirca_topology::Topology;
 
 use crate::config::TrafficModel;
@@ -125,6 +130,11 @@ pub struct AppStats {
     pub dropped: u64,
     /// Poisson arrivals discarded because the source queue was full.
     pub queue_drops: u64,
+    /// Receptions lost at this node to the injected frame error rate.
+    pub fer_losses: u64,
+    /// Receptions lost at this node because its radio was in an outage
+    /// window for part of the frame.
+    pub outage_losses: u64,
     /// End-to-end delays (seconds) of this node's acked packets, when
     /// delay recording is enabled.
     pub delay_samples: Vec<f64>,
@@ -132,6 +142,36 @@ pub struct AppStats {
     pub airtime: AirtimeBreakdown,
     /// Sequence counter for generated packets.
     next_seq: u64,
+}
+
+/// Stream salt separating fault-draw RNGs from every other per-node
+/// stream. Fault randomness must never touch the traffic/backoff streams:
+/// that isolation is what keeps a zero-fault plan byte-identical to a run
+/// with no plan at all, and lets fault plans change without perturbing the
+/// contention sequence more than the faults themselves do.
+const FAULT_STREAM_SALT: u64 = 0xFA17_1A11;
+
+/// Runtime fault-injection state: compiled lookup tables plus one
+/// dedicated RNG stream per receiving node. `None` for trivial plans, so
+/// the perfect-channel hot path is exactly the code that ran before fault
+/// injection existed.
+#[derive(Debug)]
+struct FaultState {
+    compiled: CompiledFaults,
+    rngs: Vec<SmallRng>,
+}
+
+/// The fate of a reception the PHY decoded successfully, after the fault
+/// layer has its say.
+enum FaultVerdict {
+    /// Hand the frame to the MAC.
+    Deliver,
+    /// The link's frame error rate corrupted it: the MAC sees noise
+    /// (EIFS + the normal retry path), not a frame.
+    Corrupt,
+    /// The receiver's radio was out of service during the frame: nothing
+    /// was decoded at all.
+    Outage,
 }
 
 /// The network world: one MAC and transceiver per node, a shared channel,
@@ -152,6 +192,7 @@ pub struct NetWorld {
     record_delays: bool,
     measured: usize,
     next_signal: u64,
+    faults: Option<FaultState>,
     trace: Option<Vec<TraceEntry>>,
     /// Event-queue capacity hint applied at [`NetWorld::prime`] time (the
     /// expected steady-state event population, sized at build).
@@ -167,7 +208,7 @@ impl NetWorld {
     ///
     /// # Panics
     ///
-    /// Panics if the topology is empty.
+    /// Panics if the topology is empty or the fault plan is invalid for it.
     pub fn build(topology: &Topology, config: &SimConfig) -> Self {
         assert!(!topology.is_empty(), "cannot simulate an empty topology");
         let channel = Channel::new(
@@ -197,6 +238,23 @@ impl NetWorld {
         // on top. Reserving this up front keeps the event queue from
         // re-growing mid-run.
         let expected_events = n * (1 + 4 * 3);
+        // Fault injection is opt-in per run: a trivial plan compiles to no
+        // state at all, so the perfect-channel path (and its RNG stream
+        // consumption) is untouched and golden traces stay byte-identical.
+        let faults = if config.fault.is_trivial() {
+            None
+        } else {
+            let compiled = config
+                .fault
+                .compile(n)
+                .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+            let fault_master = derive_seed(config.seed, FAULT_STREAM_SALT);
+            let fault_rngs = (0..n).map(|i| stream_rng(fault_master, i as u64)).collect();
+            Some(FaultState {
+                compiled,
+                rngs: fault_rngs,
+            })
+        };
         NetWorld {
             channel,
             plan,
@@ -212,6 +270,7 @@ impl NetWorld {
             record_delays: config.record_delays,
             measured: topology.measured,
             next_signal: 0,
+            faults,
             trace: None,
             expected_events,
             scratch: Vec::with_capacity(n),
@@ -287,6 +346,8 @@ impl NetWorld {
             app.completed = 0;
             app.dropped = 0;
             app.queue_drops = 0;
+            app.fer_losses = 0;
+            app.outage_losses = 0;
             app.delay_samples.clear();
             app.airtime = AirtimeBreakdown::default();
         }
@@ -325,6 +386,14 @@ impl NetWorld {
         sched: &mut Scheduler<NetEvent>,
         f: impl FnOnce(&mut DcfMac, &mut Ctx<'_>),
     ) {
+        // Mute is decided at the instant the MAC acts: if the node's radio
+        // is out of service now, any frame it puts on the air this instant
+        // reaches nobody (the MAC itself keeps running and will time out
+        // through its normal retry path).
+        let muted = match &self.faults {
+            Some(f) => f.compiled.in_outage(node, sched.now()),
+            None => false,
+        };
         let NetWorld {
             channel,
             macs,
@@ -348,8 +417,35 @@ impl NetWorld {
             app: &mut app[node.0],
             trace,
             record_delays: *record_delays,
+            muted,
         };
         f(&mut macs[node.0], &mut ctx);
+    }
+
+    /// Decides the fate of a frame the PHY decoded successfully at `dst`,
+    /// applying outage deafness first (a dead radio decodes nothing, no
+    /// randomness involved) and then the link's frame error rate, drawn
+    /// from the receiver's dedicated fault stream.
+    fn fault_verdict(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        frame: &Frame,
+        now: SimTime,
+    ) -> FaultVerdict {
+        let Some(state) = self.faults.as_mut() else {
+            return FaultVerdict::Deliver;
+        };
+        // The frame occupied the receiver over [now - airtime, now].
+        let start = now - self.params.frame_airtime(frame);
+        if state.compiled.outage_overlaps(dst, start, now) {
+            return FaultVerdict::Outage;
+        }
+        let fer = state.compiled.fer(src, dst);
+        if fer > 0.0 && state.rngs[dst.0].random::<f64>() < fer {
+            return FaultVerdict::Corrupt;
+        }
+        FaultVerdict::Deliver
     }
 
     /// Keeps a saturated node's MAC backlogged with fresh packets to random
@@ -498,7 +594,24 @@ impl World for NetWorld {
                 for &dst in &wave {
                     let report = self.phys[dst.0].signal_ends(id);
                     if report.delivered {
-                        self.with_mac(dst, sched, |mac, ctx| mac.on_frame_received(frame, ctx));
+                        match self.fault_verdict(src, dst, &frame, now) {
+                            FaultVerdict::Deliver => {
+                                self.with_mac(dst, sched, |mac, ctx| {
+                                    mac.on_frame_received(frame, ctx);
+                                });
+                            }
+                            FaultVerdict::Corrupt => {
+                                // Channel errors look like noise to the MAC:
+                                // same EIFS + retry path as a collision.
+                                self.app[dst.0].fer_losses += 1;
+                                self.with_mac(dst, sched, |mac, ctx| mac.on_rx_corrupted(ctx));
+                            }
+                            FaultVerdict::Outage => {
+                                // A dead decoder produces nothing at all —
+                                // no frame, no noise burst, no EIFS.
+                                self.app[dst.0].outage_losses += 1;
+                            }
+                        }
                     } else if report.corrupted {
                         self.with_mac(dst, sched, |mac, ctx| mac.on_rx_corrupted(ctx));
                     }
@@ -545,6 +658,9 @@ struct Ctx<'a> {
     app: &'a mut AppStats,
     trace: &'a mut Option<Vec<TraceEntry>>,
     record_delays: bool,
+    /// The node's radio is in an outage window at this instant: its
+    /// transmissions radiate nothing.
+    muted: bool,
 }
 
 impl MacContext for Ctx<'_> {
@@ -574,6 +690,14 @@ impl MacContext for Ctx<'_> {
         self.phy.begin_transmit();
         self.sched
             .schedule_in(duration, NetEvent::TxEnd { node: self.node });
+
+        if self.muted {
+            // Out-of-service radio: the MAC went through the motions (the
+            // trace and airtime books record its attempt, TxEnd still
+            // fires), but no wave reaches any receiver — peers' NAVs go
+            // stale and the sender burns through its retry limits.
+            return;
+        }
 
         let id = SignalId(*self.next_signal);
         *self.next_signal += 1;

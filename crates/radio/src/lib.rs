@@ -36,10 +36,12 @@
 
 mod channel;
 mod coverage;
+mod fault;
 mod transceiver;
 
 pub use channel::{Channel, ChannelError, TxPattern};
 pub use coverage::CoveragePlan;
+pub use fault::{CompiledFaults, FaultPlan, FaultPlanError, LinkFault, Outage};
 pub use transceiver::{ReceptionMode, RxEndReport, SignalId, Transceiver};
 
 use std::fmt;

@@ -1,6 +1,85 @@
 //! The event loop.
 
+use std::fmt;
+
 use crate::{EventQueue, SimDuration, SimTime};
+
+/// Runaway-run guard: hard budgets on a simulation's total event count and
+/// simulated clock, enforced by [`Simulation::try_run_until`].
+///
+/// A stuck world (a zero-delay event loop, a pathological retry storm)
+/// never drains its queue and never passes its deadline; the watchdog
+/// bounds such a run and turns it into a structured [`RunAborted`] the
+/// caller can report instead of spinning forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Maximum events the simulation may dispatch over its whole lifetime
+    /// (not per `run_until` call).
+    pub max_events: u64,
+    /// Latest simulated instant an event may fire at.
+    pub max_sim_time: SimTime,
+}
+
+impl Watchdog {
+    /// A watchdog bounding only the lifetime event count.
+    pub fn max_events(limit: u64) -> Self {
+        Watchdog {
+            max_events: limit,
+            max_sim_time: SimTime::MAX,
+        }
+    }
+
+    /// A watchdog bounding only the simulated clock.
+    pub fn max_sim_time(limit: SimTime) -> Self {
+        Watchdog {
+            max_events: u64::MAX,
+            max_sim_time: limit,
+        }
+    }
+}
+
+/// Which [`Watchdog`] budget a run exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The lifetime event budget was spent.
+    MaxEvents,
+    /// The next event would fire past the simulated-time ceiling.
+    MaxSimTime,
+}
+
+/// Structured report of a run terminated by its [`Watchdog`].
+///
+/// The simulation is left in a consistent state — the offending event is
+/// still queued, the clock reads the last dispatched instant — so state can
+/// be inspected post-mortem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunAborted {
+    /// Which budget tripped.
+    pub reason: AbortReason,
+    /// Events dispatched when the guard tripped.
+    pub events: u64,
+    /// Simulated clock at the trip.
+    pub now: SimTime,
+}
+
+impl fmt::Display for RunAborted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.reason {
+            AbortReason::MaxEvents => write!(
+                f,
+                "watchdog: event budget exhausted after {} events at {}",
+                self.events, self.now
+            ),
+            AbortReason::MaxSimTime => write!(
+                f,
+                "watchdog: simulated-time ceiling hit at {} after {} events",
+                self.now, self.events
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunAborted {}
 
 /// A simulated world: the state acted upon by events.
 ///
@@ -83,6 +162,7 @@ pub struct Simulation<W: World> {
     world: W,
     scheduler: Scheduler<W::Event>,
     processed: u64,
+    watchdog: Option<Watchdog>,
     #[cfg(feature = "audit")]
     auditors: Vec<Box<dyn crate::audit::Auditor<W>>>,
 }
@@ -95,9 +175,21 @@ impl<W: World> Simulation<W> {
             world,
             scheduler: Scheduler::new(),
             processed: 0,
+            watchdog: None,
             #[cfg(feature = "audit")]
             auditors: Vec::new(),
         }
+    }
+
+    /// Installs (or clears) the runaway watchdog checked by
+    /// [`Simulation::try_run_until`].
+    pub fn set_watchdog(&mut self, watchdog: Option<Watchdog>) {
+        self.watchdog = watchdog;
+    }
+
+    /// The installed watchdog, if any.
+    pub fn watchdog(&self) -> Option<Watchdog> {
+        self.watchdog
     }
 
     /// Installs a runtime invariant auditor; it observes every event
@@ -160,12 +252,44 @@ impl<W: World> Simulation<W> {
     ///
     /// On return the clock reads `deadline` if the run was cut short by it,
     /// or the time of the last processed event if the queue drained first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an installed [`Watchdog`] budget trips; use
+    /// [`Simulation::try_run_until`] to handle the abort as a value.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.try_run_until(deadline)
+            .unwrap_or_else(|abort| panic!("{abort}"))
+    }
+
+    /// Like [`Simulation::run_until`], but stops with a structured
+    /// [`RunAborted`] when an installed [`Watchdog`] budget trips instead of
+    /// panicking. Without a watchdog this never returns `Err`.
+    ///
+    /// On abort the offending event is left in the queue and the clock
+    /// reads the last dispatched instant, so the world remains inspectable.
+    pub fn try_run_until(&mut self, deadline: SimTime) -> Result<u64, RunAborted> {
         let before = self.processed;
         while let Some(t) = self.scheduler.queue.peek_time() {
             if t > deadline {
                 self.scheduler.now = deadline;
-                return self.processed - before;
+                return Ok(self.processed - before);
+            }
+            if let Some(w) = self.watchdog {
+                let reason = if self.processed >= w.max_events {
+                    Some(AbortReason::MaxEvents)
+                } else if t > w.max_sim_time {
+                    Some(AbortReason::MaxSimTime)
+                } else {
+                    None
+                };
+                if let Some(reason) = reason {
+                    return Err(RunAborted {
+                        reason,
+                        events: self.processed,
+                        now: self.scheduler.now,
+                    });
+                }
             }
             let (time, event) = self.scheduler.queue.pop().expect("peeked event vanished");
             debug_assert!(time >= self.scheduler.now, "event queue went backwards");
@@ -174,7 +298,7 @@ impl<W: World> Simulation<W> {
         if deadline != SimTime::MAX {
             self.scheduler.now = deadline;
         }
-        self.processed - before
+        Ok(self.processed - before)
     }
 
     /// Runs until the event queue is empty.
@@ -301,6 +425,85 @@ mod tests {
         sim.run_to_completion();
         sim.scheduler_mut()
             .schedule_at(SimTime::from_nanos(1), Ev::Spawn);
+    }
+
+    /// A world that reschedules itself forever: one event per nanosecond.
+    struct Runaway;
+
+    impl World for Runaway {
+        type Event = ();
+        fn handle(&mut self, _now: SimTime, _event: (), sched: &mut Scheduler<()>) {
+            sched.schedule_in(SimDuration::from_nanos(1), ());
+        }
+    }
+
+    #[test]
+    fn watchdog_event_budget_aborts_runaway() {
+        let mut sim = Simulation::new(Runaway);
+        sim.set_watchdog(Some(Watchdog::max_events(1000)));
+        sim.scheduler_mut().schedule_at(SimTime::ZERO, ());
+        let abort = sim
+            .try_run_until(SimTime::MAX)
+            .expect_err("a runaway world must trip the event budget");
+        assert_eq!(abort.reason, AbortReason::MaxEvents);
+        assert_eq!(abort.events, 1000);
+        assert_eq!(sim.events_processed(), 1000);
+        // The offending event stays queued; the sim is resumable after the
+        // budget is raised.
+        assert_eq!(sim.scheduler_mut().pending(), 1);
+        sim.set_watchdog(Some(Watchdog::max_events(1500)));
+        let abort = sim.try_run_until(SimTime::MAX).expect_err("still runaway");
+        assert_eq!(abort.events, 1500);
+    }
+
+    #[test]
+    fn watchdog_sim_time_ceiling_aborts() {
+        let mut sim = Simulation::new(Runaway);
+        sim.set_watchdog(Some(Watchdog::max_sim_time(SimTime::from_nanos(50))));
+        sim.scheduler_mut().schedule_at(SimTime::ZERO, ());
+        let abort = sim
+            .try_run_until(SimTime::MAX)
+            .expect_err("the clock must hit the ceiling");
+        assert_eq!(abort.reason, AbortReason::MaxSimTime);
+        assert_eq!(abort.now, SimTime::from_nanos(50));
+    }
+
+    #[test]
+    fn watchdog_within_budget_is_invisible() {
+        let mut sim = Simulation::new(Recorder { log: Vec::new() });
+        sim.set_watchdog(Some(Watchdog::max_events(1_000_000)));
+        sim.scheduler_mut()
+            .schedule_at(SimTime::from_nanos(5), Ev::Spawn);
+        let n = sim
+            .try_run_until(SimTime::from_nanos(100))
+            .expect("well within budget");
+        assert_eq!(n, 3);
+        assert_eq!(sim.now(), SimTime::from_nanos(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog: event budget exhausted")]
+    fn run_until_panics_on_watchdog_trip() {
+        let mut sim = Simulation::new(Runaway);
+        sim.set_watchdog(Some(Watchdog::max_events(10)));
+        sim.scheduler_mut().schedule_at(SimTime::ZERO, ());
+        sim.run_until(SimTime::MAX);
+    }
+
+    #[test]
+    fn abort_report_formats_both_reasons() {
+        let by_events = RunAborted {
+            reason: AbortReason::MaxEvents,
+            events: 7,
+            now: SimTime::from_nanos(3),
+        };
+        assert!(by_events.to_string().contains("event budget"));
+        let by_time = RunAborted {
+            reason: AbortReason::MaxSimTime,
+            events: 7,
+            now: SimTime::from_nanos(3),
+        };
+        assert!(by_time.to_string().contains("simulated-time ceiling"));
     }
 
     #[test]

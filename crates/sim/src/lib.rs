@@ -7,7 +7,9 @@
 //!   floating-point drift.
 //! * [`EventQueue`] — a stable priority queue: events at equal timestamps
 //!   pop in scheduling (FIFO) order, which keeps runs reproducible.
-//! * [`Simulation`] — the event loop driving a user-provided [`World`].
+//! * [`Simulation`] — the event loop driving a user-provided [`World`],
+//!   with an optional [`Watchdog`] that turns runaway runs into structured
+//!   [`RunAborted`] results.
 //! * [`rng`] — seed derivation for independent, reproducible random streams.
 //! * [`TimerSlot`] — generation-counter timers with O(1) logical
 //!   cancellation.
@@ -55,7 +57,7 @@ mod timer;
 pub mod audit;
 pub mod rng;
 
-pub use engine::{Scheduler, Simulation, World};
+pub use engine::{AbortReason, RunAborted, Scheduler, Simulation, Watchdog, World};
 pub use queue::EventQueue;
 pub use time::{SimDuration, SimTime};
 pub use timer::{TimerGeneration, TimerSlot};

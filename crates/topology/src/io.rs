@@ -20,11 +20,96 @@ use dirca_geometry::Point;
 
 use crate::Topology;
 
+/// What went wrong while parsing the topology text format. Each variant is
+/// one validation rule, so callers (and tests) can match on the cause
+/// rather than scrape the message text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// The `range` header value did not parse as a float.
+    BadRange,
+    /// The `range` header value parsed but is not a finite positive number.
+    NonPositiveRange,
+    /// The `measured` header value did not parse as an unsigned integer.
+    BadMeasured,
+    /// A header appeared twice.
+    DuplicateHeader {
+        /// The repeated header name (`range` or `measured`).
+        header: &'static str,
+    },
+    /// A node line's x coordinate is missing or unparseable.
+    BadX,
+    /// A node line's y coordinate is missing or unparseable.
+    BadY,
+    /// A node line carried more than two coordinate tokens.
+    TrailingTokens,
+    /// A coordinate parsed to an infinity or NaN.
+    NonFiniteCoordinate,
+    /// Two node lines give the exact same position — almost always a
+    /// copy-paste slip, and it makes node identities ambiguous.
+    DuplicatePosition {
+        /// Line number of the earlier occurrence.
+        first_line: usize,
+    },
+    /// The mandatory `range` header never appeared.
+    MissingRange,
+    /// The file has headers but no node lines (or is entirely empty).
+    NoNodes,
+    /// The `measured` count exceeds the number of node lines.
+    MeasuredExceedsNodes {
+        /// The declared `measured` count.
+        measured: usize,
+        /// The actual node count.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::BadRange => write!(f, "bad range value"),
+            ParseErrorKind::NonPositiveRange => write!(f, "range must be positive"),
+            ParseErrorKind::BadMeasured => write!(f, "bad measured value"),
+            ParseErrorKind::DuplicateHeader { header } => {
+                write!(f, "duplicate '{header}' header")
+            }
+            ParseErrorKind::BadX => write!(f, "bad x coordinate"),
+            ParseErrorKind::BadY => write!(f, "bad y coordinate"),
+            ParseErrorKind::TrailingTokens => write!(f, "trailing tokens after coordinates"),
+            ParseErrorKind::NonFiniteCoordinate => write!(f, "coordinates must be finite"),
+            ParseErrorKind::DuplicatePosition { first_line } => {
+                write!(
+                    f,
+                    "duplicate node position (first seen at line {first_line})"
+                )
+            }
+            ParseErrorKind::MissingRange => write!(f, "missing 'range' header"),
+            ParseErrorKind::NoNodes => write!(f, "no node lines (empty topology)"),
+            ParseErrorKind::MeasuredExceedsNodes { measured, nodes } => {
+                write!(f, "measured {measured} exceeds node count {nodes}")
+            }
+        }
+    }
+}
+
 /// Error from parsing the topology text format.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseTopologyError {
     line: usize,
-    problem: String,
+    kind: ParseErrorKind,
+}
+
+impl ParseTopologyError {
+    /// The 1-based line the error was detected on; 0 for whole-file
+    /// problems (missing header, empty file, bad `measured` total).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Which validation rule failed.
+    pub fn kind(&self) -> &ParseErrorKind {
+        &self.kind
+    }
 }
 
 impl fmt::Display for ParseTopologyError {
@@ -32,18 +117,15 @@ impl fmt::Display for ParseTopologyError {
         write!(
             f,
             "topology parse error at line {}: {}",
-            self.line, self.problem
+            self.line, self.kind
         )
     }
 }
 
 impl Error for ParseTopologyError {}
 
-fn err(line: usize, problem: impl Into<String>) -> ParseTopologyError {
-    ParseTopologyError {
-        line,
-        problem: problem.into(),
-    }
+fn err(line: usize, kind: ParseErrorKind) -> ParseTopologyError {
+    ParseTopologyError { line, kind }
 }
 
 /// Renders a topology in the text format.
@@ -76,12 +158,16 @@ pub fn to_text(topology: &Topology) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`ParseTopologyError`] on malformed headers, coordinates, or a
-/// `measured` count exceeding the node count.
+/// Returns [`ParseTopologyError`] on malformed or repeated headers,
+/// malformed or non-finite coordinates, duplicated node positions, an
+/// empty node list, or a `measured` count exceeding the node count; see
+/// [`ParseErrorKind`] for the full rule list.
 pub fn from_text(text: &str) -> Result<Topology, ParseTopologyError> {
     let mut range: Option<f64> = None;
     let mut measured: Option<usize> = None;
     let mut positions = Vec::new();
+    // Line number of each accepted node line, for duplicate reporting.
+    let mut position_lines: Vec<usize> = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
         let line = raw.trim();
@@ -89,39 +175,75 @@ pub fn from_text(text: &str) -> Result<Topology, ParseTopologyError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("range ") {
-            let v = f64::from_str(rest.trim()).map_err(|_| err(line_no, "bad range value"))?;
+            if range.is_some() {
+                return Err(err(
+                    line_no,
+                    ParseErrorKind::DuplicateHeader { header: "range" },
+                ));
+            }
+            let v =
+                f64::from_str(rest.trim()).map_err(|_| err(line_no, ParseErrorKind::BadRange))?;
             if !(v.is_finite() && v > 0.0) {
-                return Err(err(line_no, "range must be positive"));
+                return Err(err(line_no, ParseErrorKind::NonPositiveRange));
             }
             range = Some(v);
         } else if let Some(rest) = line.strip_prefix("measured ") {
-            measured =
-                Some(usize::from_str(rest.trim()).map_err(|_| err(line_no, "bad measured value"))?);
+            if measured.is_some() {
+                return Err(err(
+                    line_no,
+                    ParseErrorKind::DuplicateHeader { header: "measured" },
+                ));
+            }
+            measured = Some(
+                usize::from_str(rest.trim())
+                    .map_err(|_| err(line_no, ParseErrorKind::BadMeasured))?,
+            );
         } else {
             let mut parts = line.split_whitespace();
             let x = parts
                 .next()
                 .and_then(|t| f64::from_str(t).ok())
-                .ok_or_else(|| err(line_no, "bad x coordinate"))?;
+                .ok_or_else(|| err(line_no, ParseErrorKind::BadX))?;
             let y = parts
                 .next()
                 .and_then(|t| f64::from_str(t).ok())
-                .ok_or_else(|| err(line_no, "bad y coordinate"))?;
+                .ok_or_else(|| err(line_no, ParseErrorKind::BadY))?;
             if parts.next().is_some() {
-                return Err(err(line_no, "trailing tokens after coordinates"));
+                return Err(err(line_no, ParseErrorKind::TrailingTokens));
             }
             if !(x.is_finite() && y.is_finite()) {
-                return Err(err(line_no, "coordinates must be finite"));
+                return Err(err(line_no, ParseErrorKind::NonFiniteCoordinate));
             }
-            positions.push(Point::new(x, y));
+            let p = Point::new(x, y);
+            // Bitwise comparison: the format round-trips floats exactly, so
+            // two textually distinct lines land on distinct bit patterns
+            // unless they really name the same point.
+            if let Some(first) = positions.iter().position(|q: &Point| {
+                q.x.to_bits() == p.x.to_bits() && q.y.to_bits() == p.y.to_bits()
+            }) {
+                return Err(err(
+                    line_no,
+                    ParseErrorKind::DuplicatePosition {
+                        first_line: position_lines[first],
+                    },
+                ));
+            }
+            positions.push(p);
+            position_lines.push(line_no);
         }
     }
-    let range = range.ok_or_else(|| err(0, "missing 'range' header"))?;
+    let range = range.ok_or_else(|| err(0, ParseErrorKind::MissingRange))?;
+    if positions.is_empty() {
+        return Err(err(0, ParseErrorKind::NoNodes));
+    }
     let measured = measured.unwrap_or(positions.len());
     if measured > positions.len() {
         return Err(err(
             0,
-            format!("measured {measured} exceeds node count {}", positions.len()),
+            ParseErrorKind::MeasuredExceedsNodes {
+                measured,
+                nodes: positions.len(),
+            },
         ));
     }
     Ok(Topology {
@@ -164,21 +286,84 @@ mod tests {
     fn errors_carry_line_numbers() {
         let e = from_text("range 1.0\n0 zzz\n").unwrap_err();
         assert!(format!("{e}").contains("line 2"));
+        assert_eq!(e.line(), 2);
+        assert_eq!(*e.kind(), ParseErrorKind::BadY);
         let e = from_text("range -1\n").unwrap_err();
         assert!(format!("{e}").contains("positive"));
         let e = from_text("0 0\n").unwrap_err();
         assert!(format!("{e}").contains("missing 'range'"));
+        assert_eq!(*e.kind(), ParseErrorKind::MissingRange);
     }
 
     #[test]
     fn overlong_measured_rejected() {
         let e = from_text("range 1.0\nmeasured 5\n0 0\n").unwrap_err();
         assert!(format!("{e}").contains("exceeds node count"));
+        assert_eq!(
+            *e.kind(),
+            ParseErrorKind::MeasuredExceedsNodes {
+                measured: 5,
+                nodes: 1
+            }
+        );
     }
 
     #[test]
     fn trailing_tokens_rejected() {
-        assert!(from_text("range 1.0\n0 0 0\n").is_err());
+        let e = from_text("range 1.0\n0 0 0\n").unwrap_err();
+        assert_eq!(*e.kind(), ParseErrorKind::TrailingTokens);
+    }
+
+    #[test]
+    fn empty_and_header_only_files_rejected() {
+        let e = from_text("").unwrap_err();
+        assert_eq!(*e.kind(), ParseErrorKind::MissingRange);
+        let e = from_text("range 1.0\n").unwrap_err();
+        assert_eq!(*e.kind(), ParseErrorKind::NoNodes, "headers but no nodes");
+        let e = from_text("# only comments\n\n").unwrap_err();
+        assert_eq!(*e.kind(), ParseErrorKind::MissingRange);
+    }
+
+    #[test]
+    fn non_finite_coordinates_rejected() {
+        for bad in ["inf 0", "0 -inf", "NaN 0"] {
+            let text = format!("range 1.0\n{bad}\n");
+            let e = from_text(&text).unwrap_err();
+            assert_eq!(
+                *e.kind(),
+                ParseErrorKind::NonFiniteCoordinate,
+                "input {bad:?}"
+            );
+            assert_eq!(e.line(), 2);
+        }
+    }
+
+    #[test]
+    fn duplicate_positions_rejected_with_both_lines() {
+        let e = from_text("range 1.0\n0 0\n1 1\n0 0\n").unwrap_err();
+        assert_eq!(e.line(), 4);
+        assert_eq!(
+            *e.kind(),
+            ParseErrorKind::DuplicatePosition { first_line: 2 }
+        );
+        assert!(format!("{e}").contains("first seen at line 2"));
+        // 0.0 and -0.0 compare equal but are distinct positions bitwise:
+        // the duplicate check must not conflate them.
+        assert!(from_text("range 1.0\n0 0\n-0 0\n").is_ok());
+    }
+
+    #[test]
+    fn duplicate_headers_rejected() {
+        let e = from_text("range 1.0\nrange 2.0\n0 0\n").unwrap_err();
+        assert_eq!(
+            *e.kind(),
+            ParseErrorKind::DuplicateHeader { header: "range" }
+        );
+        let e = from_text("range 1.0\nmeasured 1\nmeasured 1\n0 0\n").unwrap_err();
+        assert_eq!(
+            *e.kind(),
+            ParseErrorKind::DuplicateHeader { header: "measured" }
+        );
     }
 
     #[test]

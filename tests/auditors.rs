@@ -73,6 +73,41 @@ fn auditors_silent_on_directional_parallel_pairs() {
     sim.finish_audit();
 }
 
+#[test]
+fn auditors_silent_under_fault_injection() {
+    // Fault injection must not bend any physical invariant: corrupted and
+    // outage-lost receptions still balance airtime, wave edges, and NAV
+    // bookkeeping. Run with an aggressive FER plus a mid-run outage and
+    // keep every auditor installed.
+    let topo = fixtures::hidden_terminal();
+    let plan = dirca_net::FaultPlan::default()
+        .with_frame_error_rate(0.25)
+        .with_outage(
+            NodeId(1),
+            SimTime::from_millis(100),
+            SimTime::from_millis(220),
+        );
+    let mut world = NetWorld::build(&topo, &quick(Scheme::OrtsOcts, 9).with_fault(plan));
+    world.enable_trace();
+    let mut sim = Simulation::new(world);
+    {
+        let (world, sched) = sim.world_and_scheduler_mut();
+        world.prime(sched);
+    }
+    for auditor in standard_auditors() {
+        sim.add_auditor(auditor);
+    }
+    sim.run_until(SimTime::from_millis(500));
+    sim.finish_audit();
+    let faults_hit: u64 = sim
+        .world()
+        .app_stats()
+        .iter()
+        .map(|a| a.fer_losses + a.outage_losses)
+        .sum();
+    assert!(faults_hit > 0, "the plan must actually inject losses");
+}
+
 // ---------------------------------------------------------------------
 // Causality.
 // ---------------------------------------------------------------------
