@@ -30,11 +30,15 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates whose data structures feed event ordering: hash collections are
-/// banned outright.
-const ORDERING_CRATES: &[&str] = &["sim", "mac", "net", "radio", "experiments"];
+/// banned outright. The trace crate is included because its recorder and
+/// metrics registry sit on the record path — a hash-ordered collection
+/// there would make exported traces irreproducible.
+const ORDERING_CRATES: &[&str] = &["sim", "mac", "net", "radio", "experiments", "trace"];
 
 /// Crates that must be reproducible end to end: no wall clocks, no
-/// entropy.
+/// entropy. The trace recorder stamps records with *sim* time only; a wall
+/// clock in the observability layer would leak nondeterminism into golden
+/// traces.
 const DETERMINISTIC_CRATES: &[&str] = &[
     "sim",
     "mac",
@@ -45,6 +49,7 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "analysis",
     "geometry",
     "stats",
+    "trace",
 ];
 
 /// One reported violation.

@@ -60,7 +60,22 @@ fn main() {
         engine.ns_per_transmit
     );
 
-    let json = render_json(threads, grid_wall_ms, &cells, &engine, queue_ns);
+    #[cfg(feature = "trace")]
+    let extra_sections = {
+        eprintln!("  profiling per-event-class dispatch (trace feature)");
+        vec![profile::event_profile_section()]
+    };
+    #[cfg(not(feature = "trace"))]
+    let extra_sections: Vec<String> = Vec::new();
+
+    let json = render_json(
+        threads,
+        grid_wall_ms,
+        &cells,
+        &engine,
+        queue_ns,
+        &extra_sections,
+    );
     std::fs::write(&out_path, json).expect("failed to write benchmark report");
     eprintln!("dirca-bench: wrote {out_path}");
 }
@@ -164,13 +179,16 @@ fn queue_microbench() -> f64 {
 }
 
 /// Renders the report by hand; the workspace deliberately has no JSON
-/// dependency.
+/// dependency. `extra_sections` holds pre-rendered `"key": {...}` fragments
+/// (e.g. the trace feature's event profile) appended after the fixed
+/// sections.
 fn render_json(
     threads: usize,
     grid_wall_ms: f64,
     cells: &[CellRow],
     engine: &EngineBench,
     queue_ns: f64,
+    extra_sections: &[String],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -201,7 +219,144 @@ fn render_json(
     let _ = writeln!(s, "    \"events_per_sec\": {:.0},", engine.events_per_sec);
     let _ = writeln!(s, "    \"ns_per_transmit\": {:.1}", engine.ns_per_transmit);
     s.push_str("  },\n");
-    let _ = writeln!(s, "  \"event_queue_ns_per_cycle\": {queue_ns:.1}");
+    let tail = if extra_sections.is_empty() { "" } else { "," };
+    let _ = writeln!(s, "  \"event_queue_ns_per_cycle\": {queue_ns:.1}{tail}");
+    for (i, section) in extra_sections.iter().enumerate() {
+        let comma = if i + 1 < extra_sections.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(s, "  {section}{comma}");
+    }
     s.push_str("}\n");
     s
+}
+
+/// Per-event-class dispatch profiling via the engine's probe hooks
+/// (compiled only with the `trace` feature).
+#[cfg(feature = "trace")]
+mod profile {
+    use std::cell::RefCell;
+    use std::fmt::Write as _;
+    use std::rc::Rc;
+    use std::time::Instant;
+
+    use dirca_mac::Scheme;
+    use dirca_net::{NetEvent, NetWorld, SimConfig};
+    use dirca_sim::probe::Probe;
+    use dirca_sim::{SimDuration, SimTime, Simulation};
+    use dirca_stats::{Histogram, Summary};
+    use dirca_topology::RingSpec;
+
+    /// Dispatch-time samples keyed by event class. A linear scan over a
+    /// handful of classes beats hashing on this hot path.
+    #[derive(Debug, Default)]
+    struct ProfileData {
+        classes: Vec<(&'static str, Summary, Histogram)>,
+    }
+
+    impl ProfileData {
+        fn record(&mut self, class: &'static str, ns: f64) {
+            let entry = match self.classes.iter().position(|(c, _, _)| *c == class) {
+                Some(i) => &mut self.classes[i],
+                None => {
+                    self.classes.push((
+                        class,
+                        Summary::new(),
+                        // 64 ns bins to 4.096 µs cover dispatch costs; the
+                        // overflow gutter catches allocation hiccups.
+                        Histogram::new(0.0, 4096.0, 64).expect("static bounds are valid"),
+                    ));
+                    self.classes.last_mut().expect("just pushed")
+                }
+            };
+            entry.1.push(ns);
+            entry.2.record(ns);
+        }
+    }
+
+    /// The probe: stamps `Instant::now()` around every dispatch and books
+    /// the elapsed time under the event's class.
+    #[derive(Debug)]
+    struct DispatchProfiler {
+        data: Rc<RefCell<ProfileData>>,
+        inflight: Option<(&'static str, Instant)>,
+    }
+
+    impl Probe<NetWorld> for DispatchProfiler {
+        fn before_event(&mut self, _now: SimTime, event: &NetEvent) {
+            self.inflight = Some((event.class(), Instant::now()));
+        }
+
+        fn after_event(&mut self, _now: SimTime) {
+            if let Some((class, start)) = self.inflight.take() {
+                self.data
+                    .borrow_mut()
+                    .record(class, start.elapsed().as_nanos() as f64);
+            }
+        }
+    }
+
+    /// Runs the engine micro-benchmark's densest topology with the profiler
+    /// installed and renders the `"event_profile"` report section.
+    pub fn event_profile_section() -> String {
+        let spec = RingSpec::paper(8, 1.0);
+        let mut rng =
+            dirca_sim::rng::stream_rng(dirca_sim::rng::derive_seed(super::SEED, 0xA11CE), 0);
+        let topology = spec.generate(&mut rng).expect("ring topology generation");
+        let config = SimConfig::new(Scheme::DrtsDcts)
+            .with_beamwidth_degrees(30.0)
+            .with_seed(1)
+            .with_warmup(SimDuration::from_millis(100))
+            .with_measure(SimDuration::from_secs(1));
+
+        let data = Rc::new(RefCell::new(ProfileData::default()));
+        let world = NetWorld::build(&topology, &config);
+        let mut sim = Simulation::new(world);
+        sim.set_probe(Some(Box::new(DispatchProfiler {
+            data: Rc::clone(&data),
+            inflight: None,
+        })));
+        {
+            let (world, sched) = sim.world_and_scheduler_mut();
+            world.prime(sched);
+        }
+        sim.run_until(SimTime::ZERO + config.warmup + config.measure);
+
+        let mut data = data.borrow_mut();
+        data.classes.sort_by_key(|(class, _, _)| *class);
+        let mut s = String::new();
+        s.push_str("\"event_profile\": {\n");
+        s.push_str("    \"workload\": \"DrtsDcts N=8 theta=30 topology 0, 1s measure\",\n");
+        s.push_str("    \"hist\": {\"unit\": \"ns\", \"lo\": 0, \"hi\": 4096, \"bins\": 64},\n");
+        s.push_str("    \"classes\": {\n");
+        for (i, (class, summary, hist)) in data.classes.iter().enumerate() {
+            let comma = if i + 1 < data.classes.len() { "," } else { "" };
+            let _ = write!(
+                s,
+                "      \"{class}\": {{\"count\": {}, \"mean_ns\": {:.1}, \
+                 \"min_ns\": {:.0}, \"max_ns\": {:.0}, \"bins\": [",
+                summary.count(),
+                summary.mean().unwrap_or(0.0),
+                summary.min().unwrap_or(0.0),
+                summary.max().unwrap_or(0.0),
+            );
+            for b in 0..hist.len() {
+                if b > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{}", hist.bin_count(b));
+            }
+            let _ = writeln!(
+                s,
+                "], \"underflow\": {}, \"overflow\": {}}}{comma}",
+                hist.underflow(),
+                hist.overflow()
+            );
+        }
+        s.push_str("    }\n");
+        s.push_str("  }");
+        s
+    }
 }

@@ -13,6 +13,11 @@
 //! `--retries R`, `--events-budget E`, and the CI drill switches
 //! `--inject-panic n,theta,scheme` / `--inject-timeout n,theta,scheme`.
 //!
+//! With `--trace PATH` (requires building with `--features trace`) the run
+//! additionally exports a structured JSONL trace of topology 0 of every
+//! cell — see `dirca_experiments::tracegrid` for the document layout and
+//! the `trace_view` binary for folding it into per-node timelines.
+//!
 //! Exit status: 0 on a clean complete grid, 1 if any cell failed, 2 on a
 //! usage error, 3 if `--max-cells` stopped the run early.
 
@@ -33,6 +38,25 @@ fn main() {
         scale.measure.as_nanos() / 1_000_000,
         runner.threads
     );
+    if let Some(path) = flags.get("trace") {
+        #[cfg(feature = "trace")]
+        {
+            eprintln!("exporting structured trace to {path}");
+            dirca_experiments::tracegrid::export_grid_trace(&scale, path).unwrap_or_else(|e| {
+                eprintln!("failed to write trace {path}: {e}");
+                std::process::exit(1);
+            });
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = path;
+            eprintln!(
+                "--trace requires a build with the trace feature: \
+                 cargo run -p dirca-experiments --features trace --bin paper_grid"
+            );
+            std::process::exit(2);
+        }
+    }
     let outcome = run_grid(&scale, &runner).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(1);

@@ -1,0 +1,223 @@
+//! Folds a `paper_grid --trace` JSONL document into per-node handshake
+//! timelines, or validates it against the record schema.
+//!
+//! ```text
+//! trace_view grid_trace.jsonl            # human-readable per-cell fold
+//! trace_view grid_trace.jsonl --check    # schema validation only (exit 0/1)
+//! ```
+//!
+//! Exit status: 0 on success, 1 on a schema violation or unreadable file,
+//! 2 on a usage error.
+
+use dirca_trace::{Json, RecordKind, TraceRecord};
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut check = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("unrecognized flag {flag:?} (usage: trace_view <path> [--check])");
+                std::process::exit(2);
+            }
+            positional => {
+                if path.replace(positional.to_string()).is_some() {
+                    eprintln!("expected exactly one input path");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace_view <path> [--check]");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    match process(&text, check) {
+        // A plain `print!` panics on EPIPE when the fold is piped into
+        // `head`; a failed write to a closed pipe is not an error here.
+        Ok(report) => {
+            use std::io::Write as _;
+            let _ = std::io::stdout().write_all(report.as_bytes());
+        }
+        Err(message) => {
+            eprintln!("{path}: {message}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Per-node fold of one cell's records.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeFold {
+    tx: [u64; 4], // indexed by FrameKind::ALL order: RTS, CTS, DATA, ACK
+    rx: u64,
+    corrupted: u64,
+    backoff_draws: u64,
+    timeouts: u64,
+    nav_sets: u64,
+    acked: u64,
+    dropped: u64,
+    faults: u64,
+}
+
+/// State of the cell currently being folded.
+#[derive(Debug, Default)]
+struct CellFold {
+    header: String,
+    nodes: Vec<NodeFold>,
+    records: u64,
+    first_ns: u64,
+    last_ns: u64,
+}
+
+impl CellFold {
+    fn absorb(&mut self, r: &TraceRecord) {
+        let t = r.time.as_nanos();
+        if self.records == 0 {
+            self.first_ns = t;
+        }
+        self.last_ns = t;
+        self.records += 1;
+        let idx = r.node.0;
+        if idx >= self.nodes.len() {
+            self.nodes.resize(idx + 1, NodeFold::default());
+        }
+        let node = &mut self.nodes[idx];
+        match r.kind {
+            RecordKind::FrameTx { kind, .. } => {
+                let slot = dirca_mac::FrameKind::ALL
+                    .iter()
+                    .position(|&k| k == kind)
+                    .expect("FrameKind::ALL is exhaustive");
+                node.tx[slot] += 1;
+            }
+            RecordKind::FrameRx { .. } => node.rx += 1,
+            RecordKind::RxCorrupted => node.corrupted += 1,
+            RecordKind::BackoffDraw { .. } => node.backoff_draws += 1,
+            RecordKind::NavSet { .. } => node.nav_sets += 1,
+            RecordKind::NavExpire => {}
+            RecordKind::Timeout { .. } => node.timeouts += 1,
+            RecordKind::PacketAcked => node.acked += 1,
+            RecordKind::PacketDropped => node.dropped += 1,
+            RecordKind::FaultCorrupt | RecordKind::FaultOutage => node.faults += 1,
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let span_s = (self.last_ns.saturating_sub(self.first_ns)) as f64 / 1e9;
+        let _ = writeln!(
+            out,
+            "{} — {} records over {span_s:.3} s",
+            self.header, self.records
+        );
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  node {i:>3}: tx rts={:<5} cts={:<5} data={:<5} ack={:<5} rx={:<6} \
+                 corrupt={:<4} nav={:<5} backoff={:<5} timeouts={:<4} acked={:<5} \
+                 dropped={:<3} faults={}",
+                n.tx[0],
+                n.tx[1],
+                n.tx[2],
+                n.tx[3],
+                n.rx,
+                n.corrupted,
+                n.nav_sets,
+                n.backoff_draws,
+                n.timeouts,
+                n.acked,
+                n.dropped,
+                n.faults,
+            );
+        }
+    }
+}
+
+/// Validates `text` line by line; unless `check_only`, also folds it into
+/// the human-readable per-cell report.
+fn process(text: &str, check_only: bool) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut cell: Option<CellFold> = None;
+    let mut cells_seen = 0u64;
+    let mut records_seen = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let v = Json::parse(line).map_err(|e| format!("line {lineno}: invalid JSON: {e}"))?;
+        if lineno == 1 {
+            match v.get("schema").and_then(Json::as_str) {
+                Some("dirca-trace/v1") => continue,
+                Some(other) => return Err(format!("unsupported schema {other:?}")),
+                None => return Err("line 1: missing schema header".to_string()),
+            }
+        }
+        match v.get("ev").and_then(Json::as_str) {
+            Some("cell") => {
+                cells_seen += 1;
+                if let Some(done) = cell.take() {
+                    done.render(&mut out);
+                }
+                let n = v
+                    .get("n")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("line {lineno}: cell marker missing \"n\""))?;
+                let theta = v
+                    .get("theta_deg")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("line {lineno}: cell marker missing \"theta_deg\""))?;
+                let scheme = v
+                    .get("scheme")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {lineno}: cell marker missing \"scheme\""))?;
+                cell = Some(CellFold {
+                    header: format!("cell N={n} theta={theta} {scheme}"),
+                    ..CellFold::default()
+                });
+            }
+            Some("metrics") => {
+                let data = v
+                    .get("data")
+                    .ok_or_else(|| format!("line {lineno}: metrics marker missing \"data\""))?;
+                if data.get("counters").and_then(Json::as_obj).is_none() {
+                    return Err(format!("line {lineno}: metrics block missing counters"));
+                }
+                if let Some(done) = cell.take() {
+                    done.render(&mut out);
+                    if let Some(acked) = data
+                        .get("counters")
+                        .and_then(|c| c.get("packets_acked"))
+                        .and_then(Json::as_u64)
+                    {
+                        let _ = writeln!(out, "  metrics: packets_acked={acked}");
+                    }
+                }
+            }
+            _ => {
+                let record = TraceRecord::from_json(&v)
+                    .map_err(|e| format!("line {lineno}: schema violation: {e}"))?;
+                records_seen += 1;
+                if let Some(fold) = cell.as_mut() {
+                    fold.absorb(&record);
+                } else {
+                    return Err(format!("line {lineno}: record before any cell marker"));
+                }
+            }
+        }
+    }
+    if let Some(done) = cell.take() {
+        done.render(&mut out);
+    }
+    if check_only {
+        return Ok(format!(
+            "ok: {cells_seen} cells, {records_seen} records validated\n"
+        ));
+    }
+    let _ = writeln!(out, "{cells_seen} cells, {records_seen} records");
+    Ok(out)
+}

@@ -19,6 +19,7 @@
 //! | E14 | model-vs-simulation validation on Poisson fields (ours) | [`model_vs_sim`] | `model_vs_sim` |
 //! | E15 | throughput vs injected frame error rate (ours) | [`fault_sweep`] | `fault_sweep` |
 //! | — | SVG figure rendering | [`plot`] | `figures` |
+//! | — | structured trace export (`trace` feature) | `tracegrid` | `trace_view` |
 //!
 //! Every binary accepts `--quick` (a fast smoke-test scale) plus
 //! experiment-specific flags; see each binary's `--help`.
@@ -43,3 +44,5 @@ pub mod rts_threshold;
 pub mod runner;
 pub mod table;
 pub mod table1;
+#[cfg(feature = "trace")]
+pub mod tracegrid;

@@ -224,11 +224,18 @@ pub struct TopologySample {
     pub jain: Option<f64>,
 }
 
-fn run_one_topology(
+/// Materializes topology `index` of an experiment cell: the generated ring
+/// layout plus the fully-derived simulation config, exactly as
+/// [`try_run_cell`] would run it. Exposed so external tooling (the trace
+/// exporter, replay debuggers) can re-run any cell coordinate standalone.
+///
+/// # Panics
+///
+/// Panics if the degree-constrained topology cannot be generated.
+pub fn topology_config(
     experiment: &RingExperiment,
     index: usize,
-    watchdog: Option<Watchdog>,
-) -> Result<TopologySample, RunAborted> {
+) -> (dirca_topology::Topology, SimConfig) {
     let spec = RingSpec::paper(experiment.n_avg, 1.0);
     let mut topo_rng = stream_rng(derive_seed(experiment.seed, 0xA11CE), index as u64);
     let topology = spec
@@ -242,6 +249,15 @@ fn run_one_topology(
         .with_measure(experiment.measure)
         .with_fault(experiment.fault.clone());
     config.mac = experiment.mac.clone();
+    (topology, config)
+}
+
+fn run_one_topology(
+    experiment: &RingExperiment,
+    index: usize,
+    watchdog: Option<Watchdog>,
+) -> Result<TopologySample, RunAborted> {
+    let (topology, config) = topology_config(experiment, index);
     let result: RunResult = match watchdog {
         None => run(&topology, &config),
         Some(w) => run_guarded(&topology, &config, w)?,
@@ -394,6 +410,22 @@ mod tests {
             noisy_out.throughput.mean().unwrap() < clean_out.throughput.mean().unwrap(),
             "a 30% FER must cost throughput"
         );
+    }
+
+    #[test]
+    fn topology_config_reproduces_the_cell_sample() {
+        // The exposed coordinate → (topology, config) mapping must be the
+        // exact one the cell runner uses, or replay tooling would debug a
+        // different run than the one reported.
+        let exp = tiny(Scheme::OrtsOcts, 3, 90.0);
+        let samples = try_run_cell(&exp, 2, &CellGuards::default()).unwrap();
+        for (index, expected) in samples.iter().enumerate() {
+            let (topology, config) = topology_config(&exp, index);
+            let result = dirca_net::run(&topology, &config);
+            let throughput = result.aggregate_throughput_bps() / config.params.bit_rate_bps as f64;
+            assert_eq!(throughput, expected.throughput, "topology {index}");
+            assert_eq!(result.collision_ratio(), expected.collision_ratio);
+        }
     }
 
     #[test]

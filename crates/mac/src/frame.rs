@@ -20,15 +20,35 @@ pub enum FrameKind {
     Ack,
 }
 
-impl fmt::Display for FrameKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl FrameKind {
+    /// Every frame kind, in handshake order.
+    pub const ALL: [FrameKind; 4] = [
+        FrameKind::Rts,
+        FrameKind::Cts,
+        FrameKind::Data,
+        FrameKind::Ack,
+    ];
+
+    /// The canonical on-wire name (`"RTS"`, `"CTS"`, `"DATA"`, `"ACK"`),
+    /// used by [`fmt::Display`] and as the `frame` field of trace records.
+    pub fn label(self) -> &'static str {
+        match self {
             FrameKind::Rts => "RTS",
             FrameKind::Cts => "CTS",
             FrameKind::Data => "DATA",
             FrameKind::Ack => "ACK",
-        };
-        f.write_str(s)
+        }
+    }
+
+    /// The inverse of [`FrameKind::label`].
+    pub fn from_label(label: &str) -> Option<FrameKind> {
+        FrameKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+impl fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -216,6 +236,14 @@ mod tests {
         let p = params();
         let rts = Frame::rts(NodeId(0), NodeId(1), 10, &p);
         let _ = Frame::ack(&rts, &p);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in FrameKind::ALL {
+            assert_eq!(FrameKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(FrameKind::from_label("NACK"), None);
     }
 
     #[test]

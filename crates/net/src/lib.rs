@@ -37,6 +37,8 @@
 pub mod audit;
 mod config;
 mod result;
+#[cfg(feature = "trace")]
+pub mod trace;
 mod world;
 
 pub use config::{SimConfig, TrafficModel};

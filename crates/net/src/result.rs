@@ -26,6 +26,9 @@ pub struct NodeReport {
     pub delay_samples: Vec<f64>,
     /// Transmit airtime by frame kind.
     pub airtime: AirtimeBreakdown,
+    /// Packets still queued at the MAC when the run ended (end-of-run
+    /// queue depth; always the full queue under saturated traffic).
+    pub backlog: u64,
 }
 
 impl NodeReport {
@@ -67,8 +70,19 @@ impl RunResult {
                 outage_losses: app.outage_losses,
                 delay_samples: app.delay_samples.clone(),
                 airtime: app.airtime,
+                backlog: mac.queue_len() as u64,
             })
             .collect();
+        RunResult {
+            nodes,
+            window,
+            events,
+        }
+    }
+
+    /// Assembles a result from hand-constructed parts — for metric
+    /// arithmetic tests and external tooling that replays recorded runs.
+    pub fn from_parts(nodes: Vec<NodeReport>, window: SimDuration, events: u64) -> Self {
         RunResult {
             nodes,
             window,
@@ -193,6 +207,11 @@ impl RunResult {
         (denom > 0).then(|| timeouts as f64 / denom as f64)
     }
 
+    /// Total end-of-run MAC queue depth over all nodes.
+    pub fn total_backlog(&self) -> u64 {
+        self.nodes.iter().map(|n| n.backlog).sum()
+    }
+
     /// Transmit-airtime breakdown summed over the measured nodes.
     pub fn airtime_breakdown(&self) -> AirtimeBreakdown {
         let mut total = AirtimeBreakdown::default();
@@ -235,6 +254,7 @@ mod tests {
                 data: SimDuration::from_micros(acked * 6032),
                 ..AirtimeBreakdown::default()
             },
+            backlog: 0,
         }
     }
 

@@ -17,6 +17,9 @@ use dirca_topology::Topology;
 use crate::config::TrafficModel;
 use crate::SimConfig;
 
+#[cfg(feature = "trace")]
+use dirca_trace::{RecordKind, RingTrace, TraceRecord};
+
 /// Events flowing through the network simulation.
 ///
 /// Signal propagation is batched per transmission: one
@@ -71,6 +74,20 @@ pub enum NetEvent {
         /// Generating node.
         node: NodeId,
     },
+}
+
+impl NetEvent {
+    /// A stable snake_case class name, used to group events in profiling
+    /// histograms and metrics labels.
+    pub fn class(&self) -> &'static str {
+        match self {
+            NetEvent::WaveStart { .. } => "wave_start",
+            NetEvent::WaveEnd { .. } => "wave_end",
+            NetEvent::TxEnd { .. } => "tx_end",
+            NetEvent::MacTimer { .. } => "mac_timer",
+            NetEvent::Arrival { .. } => "arrival",
+        }
+    }
 }
 
 /// One transmission recorded by the optional frame trace.
@@ -194,6 +211,12 @@ pub struct NetWorld {
     next_signal: u64,
     faults: Option<FaultState>,
     trace: Option<Vec<TraceEntry>>,
+    /// Structured trace recorder, attached by [`NetWorld::attach_recorder`].
+    /// Observation only: recording consumes no randomness and schedules
+    /// nothing, so an attached recorder leaves runs byte-identical (the
+    /// golden ring-hash battery enforces this).
+    #[cfg(feature = "trace")]
+    recorder: Option<RingTrace>,
     /// Event-queue capacity hint applied at [`NetWorld::prime`] time (the
     /// expected steady-state event population, sized at build).
     expected_events: usize,
@@ -272,6 +295,8 @@ impl NetWorld {
             next_signal: 0,
             faults,
             trace: None,
+            #[cfg(feature = "trace")]
+            recorder: None,
             expected_events,
             scratch: Vec::with_capacity(n),
         }
@@ -286,6 +311,33 @@ impl NetWorld {
     /// The recorded transmissions, if tracing was enabled.
     pub fn trace(&self) -> Option<&[TraceEntry]> {
         self.trace.as_deref()
+    }
+
+    /// Attaches a structured trace recorder; subsequent MAC/PHY activity is
+    /// pushed into it as typed [`TraceRecord`]s.
+    #[cfg(feature = "trace")]
+    pub fn attach_recorder(&mut self, recorder: RingTrace) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detaches and returns the structured trace recorder, if attached.
+    #[cfg(feature = "trace")]
+    pub fn take_recorder(&mut self) -> Option<RingTrace> {
+        self.recorder.take()
+    }
+
+    /// The attached structured trace recorder, if any.
+    #[cfg(feature = "trace")]
+    pub fn recorder(&self) -> Option<&RingTrace> {
+        self.recorder.as_ref()
+    }
+
+    /// Pushes one record into the attached recorder, if any.
+    #[cfg(feature = "trace")]
+    fn record(&mut self, time: SimTime, node: NodeId, kind: RecordKind) {
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.push(TraceRecord { time, node, kind });
+        }
     }
 
     /// Injects one packet from `src` to `dst` into the MAC, bypassing the
@@ -403,6 +455,8 @@ impl NetWorld {
             params,
             next_signal,
             trace,
+            #[cfg(feature = "trace")]
+            recorder,
             record_delays,
             ..
         } = self;
@@ -416,6 +470,8 @@ impl NetWorld {
             next_signal,
             app: &mut app[node.0],
             trace,
+            #[cfg(feature = "trace")]
+            recorder,
             record_delays: *record_delays,
             muted,
         };
@@ -596,6 +652,24 @@ impl World for NetWorld {
                     if report.delivered {
                         match self.fault_verdict(src, dst, &frame, now) {
                             FaultVerdict::Deliver => {
+                                // Mirror what the MAC will do with the frame:
+                                // addressed frames are received, overheard
+                                // frames load the receiver's NAV.
+                                #[cfg(feature = "trace")]
+                                self.record(
+                                    now,
+                                    dst,
+                                    if frame.dst == dst {
+                                        RecordKind::FrameRx {
+                                            kind: frame.kind,
+                                            peer: frame.src,
+                                        }
+                                    } else {
+                                        RecordKind::NavSet {
+                                            until: now + frame.duration,
+                                        }
+                                    },
+                                );
                                 self.with_mac(dst, sched, |mac, ctx| {
                                     mac.on_frame_received(frame, ctx);
                                 });
@@ -603,16 +677,22 @@ impl World for NetWorld {
                             FaultVerdict::Corrupt => {
                                 // Channel errors look like noise to the MAC:
                                 // same EIFS + retry path as a collision.
+                                #[cfg(feature = "trace")]
+                                self.record(now, dst, RecordKind::FaultCorrupt);
                                 self.app[dst.0].fer_losses += 1;
                                 self.with_mac(dst, sched, |mac, ctx| mac.on_rx_corrupted(ctx));
                             }
                             FaultVerdict::Outage => {
                                 // A dead decoder produces nothing at all —
                                 // no frame, no noise burst, no EIFS.
+                                #[cfg(feature = "trace")]
+                                self.record(now, dst, RecordKind::FaultOutage);
                                 self.app[dst.0].outage_losses += 1;
                             }
                         }
                     } else if report.corrupted {
+                        #[cfg(feature = "trace")]
+                        self.record(now, dst, RecordKind::RxCorrupted);
                         self.with_mac(dst, sched, |mac, ctx| mac.on_rx_corrupted(ctx));
                     }
                     if report.medium_idle_after {
@@ -635,6 +715,19 @@ impl World for NetWorld {
                 // the context plumbing for those, they are roughly a third
                 // of all dispatched events under contention.
                 if self.macs[node.0].is_timer_live(kind, gen) {
+                    // Only response timeouts and NAV expiry are trace-worthy:
+                    // backoff/SIFS firings are the normal cadence, and the
+                    // backoff decision itself is captured at draw time.
+                    #[cfg(feature = "trace")]
+                    match kind {
+                        TimerKind::CtsTimeout | TimerKind::DataTimeout | TimerKind::AckTimeout => {
+                            self.record(now, node, RecordKind::Timeout { timer: kind });
+                        }
+                        TimerKind::NavExpire => {
+                            self.record(now, node, RecordKind::NavExpire);
+                        }
+                        TimerKind::Backoff | TimerKind::Sifs => {}
+                    }
                     self.with_mac(node, sched, |mac, ctx| mac.on_timer(kind, gen, ctx));
                     self.refill(node, sched);
                 }
@@ -657,10 +750,26 @@ struct Ctx<'a> {
     next_signal: &'a mut u64,
     app: &'a mut AppStats,
     trace: &'a mut Option<Vec<TraceEntry>>,
+    #[cfg(feature = "trace")]
+    recorder: &'a mut Option<RingTrace>,
     record_delays: bool,
     /// The node's radio is in an outage window at this instant: its
     /// transmissions radiate nothing.
     muted: bool,
+}
+
+impl Ctx<'_> {
+    /// Pushes one record attributed to this context's node.
+    #[cfg(feature = "trace")]
+    fn record(&mut self, kind: RecordKind) {
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.push(TraceRecord {
+                time: self.sched.now(),
+                node: self.node,
+                kind,
+            });
+        }
+    }
 }
 
 impl MacContext for Ctx<'_> {
@@ -680,6 +789,13 @@ impl MacContext for Ctx<'_> {
                 directional,
             });
         }
+        #[cfg(feature = "trace")]
+        self.record(RecordKind::FrameTx {
+            kind: frame.kind,
+            peer: frame.dst,
+            bytes: frame.payload_bytes,
+            directional,
+        });
         let duration = self.params.frame_airtime(&frame);
         match frame.kind {
             FrameKind::Rts => self.app.airtime.rts += duration,
@@ -743,7 +859,10 @@ impl MacContext for Ctx<'_> {
     }
 
     fn draw_backoff_slots(&mut self, cw: u32) -> u32 {
-        self.rng.random_range(0..=cw)
+        let slots = self.rng.random_range(0..=cw);
+        #[cfg(feature = "trace")]
+        self.record(RecordKind::BackoffDraw { cw, slots });
+        slots
     }
 
     fn deliver(&mut self, _frame: &Frame) {
@@ -751,6 +870,12 @@ impl MacContext for Ctx<'_> {
     }
 
     fn packet_done(&mut self, packet: DataPacket, success: bool) {
+        #[cfg(feature = "trace")]
+        self.record(if success {
+            RecordKind::PacketAcked
+        } else {
+            RecordKind::PacketDropped
+        });
         if success {
             self.app.completed += 1;
             if self.record_delays {

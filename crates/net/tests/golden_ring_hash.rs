@@ -17,6 +17,15 @@ use dirca_topology::RingSpec;
 
 /// FNV-1a over the debug-serialized frame trace.
 fn ring_trace_hash(scheme: Scheme, seed: u64) -> u64 {
+    ring_trace_hash_with(scheme, seed, false).0
+}
+
+/// Runs the golden ring configuration and hashes its frame trace. With
+/// `recorder` set (trace feature only), a [`dirca_net::trace::RingTrace`]
+/// recorder rides along and its JSONL export is returned for inspection —
+/// the frame-trace hash must not change either way, which is the
+/// observability layer's non-perturbation proof.
+fn ring_trace_hash_with(scheme: Scheme, seed: u64, recorder: bool) -> (u64, Option<String>) {
     let spec = RingSpec::paper(5, 1.0);
     let mut topo_rng = stream_rng(seed, 0xA11CE);
     let topology = spec.generate(&mut topo_rng).expect("ring topology");
@@ -25,20 +34,31 @@ fn ring_trace_hash(scheme: Scheme, seed: u64) -> u64 {
         .with_beamwidth_degrees(30.0);
     let mut world = NetWorld::build(&topology, &config);
     world.enable_trace();
+    #[cfg(feature = "trace")]
+    if recorder {
+        world.attach_recorder(dirca_net::trace::RingTrace::with_capacity(1 << 16));
+    }
+    #[cfg(not(feature = "trace"))]
+    let _ = recorder;
     let mut sim = Simulation::new(world);
     {
         let (world, sched) = sim.world_and_scheduler_mut();
         world.prime(sched);
     }
     sim.run_until(SimTime::from_millis(400));
-    let world = sim.into_world();
+    #[cfg_attr(not(feature = "trace"), allow(unused_mut))]
+    let mut world = sim.into_world();
+    #[cfg(feature = "trace")]
+    let jsonl = world.take_recorder().map(|r| r.to_jsonl());
+    #[cfg(not(feature = "trace"))]
+    let jsonl = None;
     let trace = world.trace().expect("trace enabled");
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in format!("{trace:?}").bytes() {
         hash ^= u64::from(byte);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    hash
+    (hash, jsonl)
 }
 
 /// (scheme, seed, FNV-1a of the trace) recorded on the pre-fast-path tree.
@@ -59,6 +79,43 @@ fn ring_traces_match_recorded_golden_hashes() {
             got, want,
             "{scheme} seed {seed}: trace diverged from the recorded golden run"
         );
+    }
+}
+
+/// The observability layer's non-perturbation battery: attaching the
+/// trace recorder must reproduce the recorded golden hashes byte-for-byte
+/// (the recorder observes frames and RNG draws without touching either),
+/// and the exported JSONL itself must be deterministic across same-seed
+/// runs.
+#[cfg(feature = "trace")]
+mod recorder_does_not_perturb {
+    use super::*;
+
+    #[test]
+    fn golden_hashes_survive_an_attached_recorder() {
+        for &(scheme, seed, want) in RECORDED {
+            let (got, jsonl) = ring_trace_hash_with(scheme, seed, true);
+            assert_eq!(
+                got, want,
+                "{scheme} seed {seed}: attaching the trace recorder perturbed the run"
+            );
+            assert!(
+                jsonl.expect("recorder attached").lines().count() > 100,
+                "{scheme} seed {seed}: recorder captured implausibly few records"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_runs_emit_identical_jsonl() {
+        for scheme in Scheme::ALL {
+            let (_, a) = ring_trace_hash_with(scheme, 7, true);
+            let (_, b) = ring_trace_hash_with(scheme, 7, true);
+            assert_eq!(
+                a, b,
+                "{scheme}: two same-seed runs exported different JSONL traces"
+            );
+        }
     }
 }
 

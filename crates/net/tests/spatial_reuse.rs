@@ -1,7 +1,7 @@
 //! The paper's central phenomenon, verified from the frame trace: under
 //! narrow-beam DRTS-DCTS two disjoint links transmit data *at the same
-//! time*, while under ORTS-OCTS the shared medium never lets their data
-//! frames overlap.
+//! time*, while under ORTS-OCTS the shared medium never lets their
+//! *successful* data frames overlap (concurrent attempts collide).
 
 use dirca_mac::{Dot11Params, FrameKind, Scheme};
 use dirca_net::{NetWorld, SimConfig, TraceEntry};
@@ -38,6 +38,23 @@ fn data_windows(trace: &[TraceEntry], src: usize) -> Vec<(u64, u64)> {
         .collect()
 }
 
+/// Collects the on-air intervals of DATA frames originated by `src` that
+/// were acknowledged: an ACK from the destination back to `src` follows
+/// within SIFS of the frame's end (the next handshake is several
+/// milliseconds out, so a half-millisecond pairing window is unambiguous).
+fn acked_data_windows(trace: &[TraceEntry], src: usize) -> Vec<(u64, u64)> {
+    data_windows(trace, src)
+        .into_iter()
+        .filter(|&(_, end)| {
+            trace.iter().any(|e| {
+                e.frame.kind == FrameKind::Ack
+                    && e.frame.dst.0 == src
+                    && (end..end + 500_000).contains(&e.time.as_nanos())
+            })
+        })
+        .collect()
+}
+
 fn overlap_count(a: &[(u64, u64)], b: &[(u64, u64)]) -> usize {
     a.iter()
         .map(|&(s1, e1)| b.iter().filter(|&&(s2, e2)| s1 < e2 && s2 < e1).count())
@@ -64,9 +81,16 @@ fn drts_dcts_data_frames_overlap_in_time() {
 }
 
 #[test]
-fn orts_octs_data_frames_never_overlap() {
+fn orts_octs_successful_data_frames_never_overlap() {
     // Under the omni scheme, S0's data keeps R1's neighbourhood silent (R0
-    // and R1 hear each other) — the two links strictly alternate.
+    // and R1 hear each other) — the two links alternate. The handshake
+    // cannot make that airtight: when both receivers' CTS responses cross
+    // on the air, each corrupts the other in the shared R0–R1 neighbourhood,
+    // no NAV gets loaded, and both senders launch DATA concurrently. Those
+    // residual overlaps are exactly the collisions the omni scheme pays
+    // for — at most one of the colliding frames survives. So the paper's
+    // claim is about *successful* transfers: acknowledged data frames must
+    // strictly serialize, and they must be the common case.
     let trace = trace_for(Scheme::OrtsOcts);
     let left = data_windows(&trace, 0);
     let right = data_windows(&trace, 3);
@@ -74,10 +98,21 @@ fn orts_octs_data_frames_never_overlap() {
         !left.is_empty() && !right.is_empty(),
         "both links must be active"
     );
+    let left_acked = acked_data_windows(&trace, 0);
+    let right_acked = acked_data_windows(&trace, 3);
+    assert!(
+        2 * (left_acked.len() + right_acked.len()) > left.len() + right.len(),
+        "most omni data frames should still be acknowledged: {} + {} acked \
+         of {} + {}",
+        left_acked.len(),
+        right_acked.len(),
+        left.len(),
+        right.len()
+    );
     assert_eq!(
-        overlap_count(&left, &right),
+        overlap_count(&left_acked, &right_acked),
         0,
-        "omni data frames must serialize on the shared medium"
+        "successful omni data frames must serialize on the shared medium"
     );
 }
 

@@ -165,6 +165,8 @@ pub struct Simulation<W: World> {
     watchdog: Option<Watchdog>,
     #[cfg(feature = "audit")]
     auditors: Vec<Box<dyn crate::audit::Auditor<W>>>,
+    #[cfg(feature = "trace")]
+    probe: Option<Box<dyn crate::probe::Probe<W>>>,
 }
 
 impl<W: World> Simulation<W> {
@@ -178,6 +180,8 @@ impl<W: World> Simulation<W> {
             watchdog: None,
             #[cfg(feature = "audit")]
             auditors: Vec::new(),
+            #[cfg(feature = "trace")]
+            probe: None,
         }
     }
 
@@ -207,6 +211,19 @@ impl<W: World> Simulation<W> {
         for auditor in &mut self.auditors {
             auditor.finish(now, &self.world);
         }
+    }
+
+    /// Installs (or clears) the dispatch-loop probe; it observes every
+    /// event dispatched from now on.
+    #[cfg(feature = "trace")]
+    pub fn set_probe(&mut self, probe: Option<Box<dyn crate::probe::Probe<W>>>) {
+        self.probe = probe;
+    }
+
+    /// Removes and returns the installed probe, if any.
+    #[cfg(feature = "trace")]
+    pub fn take_probe(&mut self) -> Option<Box<dyn crate::probe::Probe<W>>> {
+        self.probe.take()
     }
 
     /// Read access to the world.
@@ -318,16 +335,24 @@ impl<W: World> Simulation<W> {
     }
 
     /// Advances the clock to `time` and hands `event` to the world,
-    /// running the auditor hooks around the dispatch when the `audit`
-    /// feature is enabled.
+    /// running the auditor hooks (feature `audit`) and the probe hooks
+    /// (feature `trace`) around the dispatch.
     fn dispatch(&mut self, time: SimTime, event: W::Event) {
         self.scheduler.now = time;
         #[cfg(feature = "audit")]
         for auditor in &mut self.auditors {
             auditor.before_event(time, &event, &self.world);
         }
+        #[cfg(feature = "trace")]
+        if let Some(probe) = &mut self.probe {
+            probe.before_event(time, &event);
+        }
         self.world.handle(time, event, &mut self.scheduler);
         self.processed += 1;
+        #[cfg(feature = "trace")]
+        if let Some(probe) = &mut self.probe {
+            probe.after_event(time);
+        }
         #[cfg(feature = "audit")]
         for auditor in &mut self.auditors {
             auditor.after_event(time, &self.world, &self.scheduler);

@@ -55,6 +55,8 @@ mod timer;
 
 #[cfg(feature = "audit")]
 pub mod audit;
+#[cfg(feature = "trace")]
+pub mod probe;
 pub mod rng;
 
 pub use engine::{AbortReason, RunAborted, Scheduler, Simulation, Watchdog, World};

@@ -1,0 +1,122 @@
+//! Property tests of the statistics layer.
+//!
+//! The metrics registry snapshots these types into experiment reports, so
+//! the observability work leans on their arithmetic being exactly right:
+//! half-open bin membership, conservation of recorded samples, and
+//! numerically stable moments.
+
+use dirca_stats::{jain_index, Histogram, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn histogram_bins_are_half_open(xs in prop::collection::vec(-16.0f64..80.0, 0..400)) {
+        // Bounds and width chosen as exact powers of two so every bin edge
+        // is representable and the membership predicate below is exact.
+        let mut h = Histogram::new(0.0, 64.0, 64).expect("valid histogram");
+        for &x in &xs {
+            h.record(x);
+        }
+        for i in 0..h.len() {
+            let (lo, hi) = h.bin_range(i);
+            let expected = xs.iter().filter(|&&x| lo <= x && x < hi).count() as u64;
+            prop_assert_eq!(
+                h.bin_count(i),
+                expected,
+                "bin {} = [{}, {}) miscounts",
+                i,
+                lo,
+                hi
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_underflow_overflow_accounting(
+        xs in prop::collection::vec(-100.0f64..200.0, 0..400),
+    ) {
+        let mut h = Histogram::new(0.0, 64.0, 16).expect("valid histogram");
+        for &x in &xs {
+            h.record(x);
+        }
+        let below = xs.iter().filter(|&&x| x < 0.0).count() as u64;
+        let above = xs.iter().filter(|&&x| x >= 64.0).count() as u64;
+        prop_assert_eq!(h.underflow(), below);
+        prop_assert_eq!(h.overflow(), above);
+    }
+
+    #[test]
+    fn histogram_conserves_every_sample(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..400),
+        bins in 1usize..40,
+    ) {
+        // No sample may vanish or double-count: in-range bins plus the
+        // under/overflow gutters account for exactly the recorded total.
+        let mut h = Histogram::new(-10.0, 10.0, bins).expect("valid histogram");
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let binned: u64 = (0..h.len()).map(|i| h.bin_count(i)).sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
+    }
+
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e3f64..1e3, 2..200)) {
+        let s: Summary = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        let scale = 1.0 + mean.abs();
+        prop_assert!((s.mean().expect("non-empty") - mean).abs() / scale < 1e-9);
+        let var_scale = 1.0 + var.abs();
+        prop_assert!(
+            (s.sample_variance().expect("n >= 2") - var).abs() / var_scale < 1e-9,
+            "welford {} vs two-pass {}",
+            s.sample_variance().expect("n >= 2"),
+            var
+        );
+    }
+
+    #[test]
+    fn ci_half_width_is_monotone_in_n(
+        pattern in prop::collection::vec(-50.0f64..50.0, 2..20),
+        spread in 0.1f64..10.0,
+    ) {
+        // Repeating the same sample pattern cannot widen the confidence
+        // interval: the sample variance is unchanged while both sqrt(n)
+        // and the t critical value move in the interval's favour.
+        let mut varied = pattern.clone();
+        varied[0] += spread; // guard against an all-equal pattern (CI = 0)
+        let once: Summary = varied.iter().copied().collect();
+        let twice: Summary = varied.iter().chain(varied.iter()).copied().collect();
+        let w1 = once.ci95_half_width().expect("n >= 2");
+        let w2 = twice.ci95_half_width().expect("n >= 4");
+        prop_assert!(w2 <= w1, "CI widened with more samples: {} -> {}", w1, w2);
+    }
+
+    #[test]
+    fn jain_index_is_bounded(xs in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        if let Some(j) = jain_index(&xs) {
+            let n = xs.len() as f64;
+            prop_assert!(j >= 1.0 / n - 1e-12, "below 1/n: {} < 1/{}", j, n);
+            prop_assert!(j <= 1.0 + 1e-12, "above 1: {}", j);
+        } else {
+            // None only for the all-zero allocation (the slice is non-empty).
+            prop_assert!(xs.iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn jain_index_extremes_are_exact(n in 1usize..64, share in 0.5f64..1e3) {
+        // Perfect fairness: every node gets the same non-zero share.
+        let even = vec![share; n];
+        let j = jain_index(&even).expect("non-zero allocations");
+        prop_assert!((j - 1.0).abs() < 1e-12);
+        // Perfect unfairness: one node hogs everything.
+        let mut hog = vec![0.0; n];
+        hog[0] = share;
+        let j = jain_index(&hog).expect("non-zero allocations");
+        prop_assert!((j - 1.0 / n as f64).abs() < 1e-12);
+    }
+}
