@@ -1,0 +1,173 @@
+//! The checked-in baseline: known findings that do not gate CI.
+//!
+//! The baseline file (`audit-baseline.json` at the workspace root) lists
+//! findings that predate a rule's introduction. A finding matches an
+//! entry on `(rule, file, snippet)` — the *trimmed line text*, not the
+//! line number — so unrelated edits above a baselined line do not
+//! invalidate it, while any edit to the line itself (which should fix the
+//! finding) does. The workspace policy is an **empty** baseline; the
+//! mechanism exists so a future rule can land before its cleanup
+//! completes without turning CI red.
+
+use std::path::Path;
+
+use crate::diag::{json_str, Analysis, Finding, Rule};
+use crate::json::{self, Value};
+
+/// One baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule ID (`DA004`).
+    pub rule: Rule,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Trimmed offending line text.
+    pub snippet: String,
+}
+
+/// A loaded baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// All entries, in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Loads a baseline from `path`. A missing file is an empty baseline;
+    /// a malformed file is an error (a silently ignored baseline would
+    /// un-gate CI).
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Baseline::default()),
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let schema = doc.get("schema").and_then(Value::as_str);
+        if schema != Some("dirca-audit-baseline/1") {
+            return Err(format!(
+                "{}: unsupported baseline schema {schema:?}",
+                path.display()
+            ));
+        }
+        let mut entries = Vec::new();
+        for item in doc
+            .get("entries")
+            .and_then(Value::as_arr)
+            .unwrap_or_default()
+        {
+            let rule = item
+                .get("rule")
+                .and_then(Value::as_str)
+                .and_then(Rule::parse)
+                .ok_or_else(|| format!("{}: entry with bad rule", path.display()))?;
+            let file = item
+                .get("file")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{}: entry without file", path.display()))?
+                .to_string();
+            let snippet = item
+                .get("snippet")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{}: entry without snippet", path.display()))?
+                .to_string();
+            entries.push(Entry {
+                rule,
+                file,
+                snippet,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Marks findings matched by an entry as baselined. Each entry
+    /// absorbs any number of identical findings (a snippet may repeat in
+    /// a file).
+    pub fn apply(&self, findings: &mut [Finding]) {
+        for finding in findings {
+            if self.entries.iter().any(|e| {
+                e.rule == finding.rule && e.file == finding.file && e.snippet == finding.snippet
+            }) {
+                finding.baselined = true;
+            }
+        }
+    }
+
+    /// Renders an analysis' still-active findings as a baseline document
+    /// (for `--write-baseline`).
+    pub fn render(analysis: &Analysis) -> String {
+        let mut out =
+            String::from("{\n  \"schema\": \"dirca-audit-baseline/1\",\n  \"entries\": [\n");
+        let active: Vec<_> = analysis.active().collect();
+        for (i, f) in active.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"snippet\": {}}}{}\n",
+                json_str(f.rule.id()),
+                json_str(&f.file),
+                json_str(&f.snippet),
+                if i + 1 < active.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            col: 1,
+            message: "m".into(),
+            snippet: snippet.into(),
+            suppressed: false,
+            baselined: false,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let analysis = Analysis {
+            findings: vec![finding(Rule::Unwrap, "crates/net/src/x.rs", "x.unwrap();")],
+            crates: 1,
+            files: 1,
+        };
+        let text = Baseline::render(&analysis);
+        let dir = std::env::temp_dir().join(format!("dirca-audit-bl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("baseline.json");
+        std::fs::write(&path, &text).expect("write");
+        let loaded = Baseline::load(&path).expect("load");
+        assert_eq!(loaded.entries.len(), 1);
+        assert_eq!(loaded.entries[0].rule, Rule::Unwrap);
+        let mut findings = vec![
+            finding(Rule::Unwrap, "crates/net/src/x.rs", "x.unwrap();"),
+            finding(Rule::Unwrap, "crates/net/src/x.rs", "y.unwrap();"),
+        ];
+        loaded.apply(&mut findings);
+        assert!(findings[0].baselined);
+        assert!(!findings[1].baselined, "different snippet does not match");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let bl = Baseline::load(Path::new("/nonexistent/audit-baseline.json")).expect("ok");
+        assert!(bl.entries.is_empty());
+    }
+
+    #[test]
+    fn malformed_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("dirca-audit-bl2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{\"schema\": \"other/9\"}").expect("write");
+        assert!(Baseline::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

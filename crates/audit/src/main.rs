@@ -1,351 +1,181 @@
-//! `dirca-audit`: static hygiene auditor for the workspace.
+//! The `dirca-audit` CLI — thin argument handling over [`dirca_audit`].
 //!
-//! Walks every library crate's `src/` tree and flags constructs that the
-//! deterministic discrete-event core must never contain:
+//! ```text
+//! dirca-audit [--root DIR] [--format human|json] [--baseline FILE]
+//!             [--write-baseline] [--diff-base REF] [--list-rules]
+//! ```
 //!
-//! * **`HashMap`/`HashSet` in simulation-ordering crates** (`sim`, `mac`,
-//!   `net`, `radio`, `experiments`): iteration order of the std hash
-//!   collections is randomized per process, so any use in code that feeds
-//!   the event loop (or aggregates its results, as the experiment harness
-//!   and its checkpoint/resume runner do) is a determinism hazard. Use
-//!   `BTreeMap`/`BTreeSet`/`Vec` instead.
-//! * **Wall-clock and entropy sources in deterministic crates**
-//!   (`std::time`, `thread_rng`, `from_entropy`, `rand::rng()`): simulated
-//!   time comes from the event queue and randomness from seeded streams;
-//!   anything else makes runs irreproducible.
-//! * **Direct `f64` equality against float literals** outside tests:
-//!   results compared with `==` drift across optimization levels; compare
-//!   against a tolerance instead.
-//! * **`.unwrap()` in library code**: library crates must surface errors
-//!   as `Result` or document impossibility with `expect("why")`.
-//!
-//! The checks are line-based heuristics, not a parser: a file's trailing
-//! `#[cfg(test)]` module (the repo-wide convention) and comment/doc lines
-//! are exempt, as are `benches/`, `tests/`, `examples/`, and the vendored
-//! dependency stubs. Run with `cargo run -p dirca-audit`; the process exits
-//! non-zero if any finding is reported, so CI can gate on it.
+//! Exit codes: `0` clean, `1` active findings, `2` usage or I/O error.
 
-use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// Crates whose data structures feed event ordering: hash collections are
-/// banned outright. The trace crate is included because its recorder and
-/// metrics registry sit on the record path — a hash-ordered collection
-/// there would make exported traces irreproducible.
-const ORDERING_CRATES: &[&str] = &["sim", "mac", "net", "radio", "experiments", "trace"];
+use dirca_audit::baseline::Baseline;
+use dirca_audit::diag::Rule;
 
-/// Crates that must be reproducible end to end: no wall clocks, no
-/// entropy. The trace recorder stamps records with *sim* time only; a wall
-/// clock in the observability layer would leak nondeterminism into golden
-/// traces.
-const DETERMINISTIC_CRATES: &[&str] = &[
-    "sim",
-    "mac",
-    "net",
-    "radio",
-    "topology",
-    "experiments",
-    "analysis",
-    "geometry",
-    "stats",
-    "trace",
-];
-
-/// One reported violation.
-struct Finding {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
+/// Parsed command line.
+struct Args {
+    root: PathBuf,
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    diff_base: Option<String>,
+    list_rules: bool,
 }
 
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
-            self.line,
-            self.rule,
-            self.message
-        )
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn usage() -> &'static str {
+    "usage: dirca-audit [--root DIR] [--format human|json] [--baseline FILE]\n\
+     \x20                 [--write-baseline] [--diff-base REF] [--list-rules]\n\
+     \n\
+     exit codes: 0 clean, 1 active findings, 2 error"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: default_root(),
+        format: Format::Human,
+        baseline: None,
+        write_baseline: false,
+        diff_base: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("--format must be human or json, got {other:?}")),
+                };
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a value")?));
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--diff-base" => {
+                args.diff_base = Some(it.next().ok_or("--diff-base needs a value")?);
+            }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
     }
+    Ok(args)
+}
+
+/// The workspace root: the current directory when it holds `crates/`,
+/// otherwise two levels up from this crate's manifest (so `cargo run -p
+/// dirca-audit` works from anywhere inside the workspace).
+fn default_root() -> PathBuf {
+    if std::path::Path::new("crates").is_dir() {
+        PathBuf::from(".")
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+}
+
+/// Files changed relative to `base`, as workspace-relative paths.
+fn changed_files(root: &std::path::Path, base: &str) -> Result<Vec<String>, String> {
+    let output = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", base])
+        .output()
+        .map_err(|e| format!("cannot run git: {e}"))?;
+    if !output.status.success() {
+        return Err(format!(
+            "git diff --name-only {base} failed: {}",
+            String::from_utf8_lossy(&output.stderr).trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&output.stdout)
+        .lines()
+        .map(str::to_string)
+        .collect())
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        for rule in Rule::ALL {
+            println!("{}  {:<18} {}", rule.id(), rule.name(), rule.describe());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let mut analysis = dirca_audit::analyze(&args.root)?;
+
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("audit-baseline.json"));
+    if args.write_baseline {
+        let doc = Baseline::render(&analysis);
+        std::fs::write(&baseline_path, doc)
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!(
+            "wrote {} finding(s) to {}",
+            analysis.active_count(),
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let baseline = Baseline::load(&baseline_path)?;
+    baseline.apply(&mut analysis.findings);
+
+    if let Some(base) = &args.diff_base {
+        let changed = changed_files(&args.root, base)?;
+        analysis
+            .findings
+            .retain(|f| changed.iter().any(|c| c == &f.file));
+    }
+
+    match args.format {
+        Format::Json => print!("{}", analysis.to_json()),
+        Format::Human => {
+            for f in analysis.active() {
+                println!("{f}");
+                if !f.snippet.is_empty() {
+                    println!("    {}", f.snippet);
+                }
+            }
+            let suppressed = analysis.findings.iter().filter(|f| f.suppressed).count();
+            let baselined = analysis.findings.iter().filter(|f| f.baselined).count();
+            println!(
+                "audit: {} active finding(s) ({} suppressed, {} baselined) across {} files in {} crates",
+                analysis.active_count(),
+                suppressed,
+                baselined,
+                analysis.files,
+                analysis.crates
+            );
+        }
+    }
+    Ok(if analysis.active_count() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }
 
 fn main() -> ExitCode {
-    let root = workspace_root();
-    let mut findings = Vec::new();
-    let crates_dir = root.join("crates");
-    let entries = match std::fs::read_dir(&crates_dir) {
-        Ok(entries) => entries,
-        Err(e) => {
-            eprintln!("dirca-audit: cannot read {}: {e}", crates_dir.display());
-            return ExitCode::FAILURE;
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("dirca-audit: {message}");
+            ExitCode::from(2)
         }
-    };
-    let mut audited = 0usize;
-    for entry in entries.flatten() {
-        let crate_name = entry.file_name().to_string_lossy().into_owned();
-        if crate_name == "audit" || crate_name == "bench" {
-            continue; // the auditor itself and the bench harness are exempt
-        }
-        let src = entry.path().join("src");
-        if src.is_dir() {
-            audited += 1;
-            walk(&src, &crate_name, &root, &mut findings);
-        }
-    }
-    for finding in &findings {
-        println!("{finding}");
-    }
-    println!(
-        "dirca-audit: {} finding(s) across {audited} crate(s)",
-        findings.len()
-    );
-    if findings.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
-}
-
-/// The workspace root, resolved from this crate's manifest directory so the
-/// tool works from any working directory.
-fn workspace_root() -> PathBuf {
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .parent()
-        .and_then(Path::parent)
-        .expect("crates/audit always sits two levels below the workspace root")
-        .to_path_buf()
-}
-
-/// Recursively audits every `.rs` file under `dir`.
-fn walk(dir: &Path, crate_name: &str, root: &Path, findings: &mut Vec<Finding>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
-    paths.sort(); // deterministic report order, of course
-    for path in paths {
-        if path.is_dir() {
-            walk(&path, crate_name, root, findings);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            if let Ok(text) = std::fs::read_to_string(&path) {
-                let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-                audit_file(&rel, &text, crate_name, findings);
-            }
-        }
-    }
-}
-
-/// Applies every rule to one source file.
-fn audit_file(rel: &Path, text: &str, crate_name: &str, findings: &mut Vec<Finding>) {
-    let ordering = ORDERING_CRATES.contains(&crate_name);
-    let deterministic = DETERMINISTIC_CRATES.contains(&crate_name);
-    let mut in_tests = false;
-    for (idx, line) in text.lines().enumerate() {
-        // Repo convention: the unit-test module is the last item of the
-        // file, so everything after `#[cfg(test)]` is test code and exempt
-        // from the panic-safety and float-comparison rules.
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            in_tests = true;
-        }
-        let code = strip_comment(line);
-        if code.trim().is_empty() {
-            continue;
-        }
-        let lineno = idx + 1;
-        let mut report = |rule: &'static str, message: String| {
-            findings.push(Finding {
-                file: rel.to_path_buf(),
-                line: lineno,
-                rule,
-                message,
-            });
-        };
-        if ordering && (code.contains("HashMap") || code.contains("HashSet")) {
-            report(
-                "hash-order",
-                "hash collections have randomized iteration order; use BTreeMap/BTreeSet/Vec \
-                 in simulation-ordering crates"
-                    .into(),
-            );
-        }
-        if deterministic {
-            for needle in ["std::time", "thread_rng", "from_entropy", "rand::rng("] {
-                if code.contains(needle) {
-                    report(
-                        "wall-clock-entropy",
-                        format!(
-                            "`{needle}` breaks reproducibility; use the event queue clock and \
-                             seeded rng streams"
-                        ),
-                    );
-                }
-            }
-        }
-        if !in_tests {
-            if code.contains(".unwrap()") {
-                report(
-                    "unwrap",
-                    "library code must not unwrap; return a Result or use \
-                     expect(\"why this cannot fail\")"
-                        .into(),
-                );
-            }
-            if let Some(operand) = float_literal_equality(code) {
-                report(
-                    "float-eq",
-                    format!("direct f64 equality against `{operand}`; compare with a tolerance"),
-                );
-            }
-        }
-    }
-}
-
-/// Drops a trailing `//` comment (including doc comments) from a line,
-/// ignoring `//` inside string literals.
-fn strip_comment(line: &str) -> &str {
-    let bytes = line.as_bytes();
-    let mut in_str = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_str => i += 1, // skip the escaped character
-            b'"' => in_str = !in_str,
-            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return &line[..i];
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    line
-}
-
-/// Detects `== <float literal>` or `<float literal> ==` comparisons (also
-/// `!=`). Returns the offending literal when found.
-///
-/// This is a token heuristic: a float literal is a digit run containing a
-/// `.` with a digit on both sides (so ranges like `0..10` and method calls
-/// like `1.max(x)` do not match).
-fn float_literal_equality(code: &str) -> Option<String> {
-    let sites = code
-        .match_indices("==")
-        .chain(code.match_indices("!="))
-        .map(|(pos, _)| pos);
-    for pos in sites {
-        // `<=` / `>=` are ordering comparisons and fine; `!==` cannot
-        // occur in Rust.
-        if pos > 0 && matches!(code.as_bytes()[pos - 1], b'<' | b'>') {
-            continue;
-        }
-        let left = code[..pos].trim_end();
-        let right = code[pos + 2..].trim_start();
-        let left_token = left
-            .rsplit(|c: char| c.is_whitespace() || "(,".contains(c))
-            .next();
-        let right_token = right
-            .split(|c: char| c.is_whitespace() || "),;".contains(c))
-            .next();
-        for token in [left_token, right_token].into_iter().flatten() {
-            if is_float_literal(token) {
-                return Some(token.to_string());
-            }
-        }
-    }
-    None
-}
-
-/// Whether `token` is (or ends with) a float literal like `1.0`, `0.5e3`,
-/// or `2.25f64`.
-fn is_float_literal(token: &str) -> bool {
-    let t = token.trim_matches(|c: char| "()&*-+".contains(c));
-    let t = t
-        .strip_suffix("f64")
-        .or_else(|| t.strip_suffix("f32"))
-        .unwrap_or(t);
-    let Some(dot) = t.find('.') else {
-        return false;
-    };
-    let (int_part, rest) = t.split_at(dot);
-    let frac = &rest[1..];
-    let int_ok = !int_part.is_empty() && int_part.chars().all(|c| c.is_ascii_digit() || c == '_');
-    let frac_digits: String = frac
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '_' || *c == 'e' || *c == '-')
-        .collect();
-    let frac_ok = frac_digits
-        .chars()
-        .next()
-        .is_some_and(|c| c.is_ascii_digit());
-    // Reject method calls on integers (`1.max(...)`) — the fractional part
-    // must be digits, not an identifier.
-    int_ok && frac_ok
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn float_literal_detection() {
-        assert!(is_float_literal("1.0"));
-        assert!(is_float_literal("0.5e3"));
-        assert!(is_float_literal("2.25f64"));
-        assert!(!is_float_literal("10"));
-        assert!(!is_float_literal("0..10"));
-        assert!(!is_float_literal("1.max"));
-        assert!(!is_float_literal("x.len"));
-    }
-
-    #[test]
-    fn equality_heuristic() {
-        assert!(float_literal_equality("if x == 1.0 {").is_some());
-        assert!(float_literal_equality("if 0.5 == y {").is_some());
-        assert!(float_literal_equality("assert!(util != 0.3);").is_some());
-        assert!(float_literal_equality("if x <= 1.0 {").is_none());
-        assert!(float_literal_equality("if x >= 1.0 {").is_none());
-        assert!(float_literal_equality("if n == 10 {").is_none());
-    }
-
-    #[test]
-    fn comment_stripping() {
-        assert_eq!(strip_comment("let x = 1; // == 1.0"), "let x = 1; ");
-        assert_eq!(strip_comment("/// doc == 1.0"), "");
-        assert_eq!(strip_comment("let s = \"a // b\";"), "let s = \"a // b\";");
-    }
-
-    #[test]
-    fn flags_hash_collections_only_in_ordering_crates() {
-        let mut findings = Vec::new();
-        audit_file(
-            Path::new("crates/mac/src/x.rs"),
-            "use std::collections::HashMap;\n",
-            "mac",
-            &mut findings,
-        );
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, "hash-order");
-        findings.clear();
-        audit_file(
-            Path::new("crates/stats/src/x.rs"),
-            "use std::collections::HashMap;\n",
-            "stats",
-            &mut findings,
-        );
-        assert!(findings.is_empty());
-    }
-
-    #[test]
-    fn flags_entropy_and_unwrap_outside_tests() {
-        let src = "fn f() { let t = std::time::Instant::now(); x.unwrap(); }\n\
-                   #[cfg(test)]\nmod tests { fn g() { y.unwrap(); } }\n";
-        let mut findings = Vec::new();
-        audit_file(Path::new("crates/sim/src/x.rs"), src, "sim", &mut findings);
-        let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
-        assert_eq!(rules, vec!["wall-clock-entropy", "unwrap"]);
     }
 }

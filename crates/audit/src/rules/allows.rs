@@ -1,0 +1,90 @@
+//! DA009 (attribute half) — `#[allow(...)]` needs a justification.
+//!
+//! A lint suppression with no stated reason rots: nobody can tell whether
+//! it is still needed or what it hides. Outside test scope, every
+//! `#[allow]` / `#[expect]` attribute must carry a comment on its own
+//! line or the line directly above. (The `audit-allow` half of DA009 —
+//! stale or reasonless analyzer suppressions — lives in
+//! [`crate::suppress`].)
+
+use std::collections::BTreeSet;
+
+use crate::diag::{Finding, Rule};
+use crate::model::{CrateSrc, SourceFile};
+
+use super::finding;
+
+/// Runs the attribute check over one file.
+pub fn run(_krate: &CrateSrc, file: &SourceFile, out: &mut Vec<Finding>) {
+    let mut comment_lines: BTreeSet<u32> = BTreeSet::new();
+    for c in &file.comments {
+        for line in c.line..=c.end_line {
+            comment_lines.insert(line);
+        }
+    }
+    for item in file.all_items() {
+        for attr in &item.attrs {
+            if attr.name != "allow" && attr.name != "expect" {
+                continue;
+            }
+            if file.is_test_line(attr.line) {
+                continue;
+            }
+            let justified = comment_lines.contains(&attr.line)
+                || (attr.line > 1 && comment_lines.contains(&(attr.line - 1)));
+            if !justified {
+                out.push(finding(
+                    file,
+                    Rule::StaleAllow,
+                    attr.line,
+                    attr.col,
+                    format!(
+                        "`#[{}]` without a justification comment on this or the \
+                         preceding line",
+                        attr.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Workspace;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_source("net", "crates/net/src/x.rs", src);
+        let mut out = Vec::new();
+        run(&ws.crates[0], &ws.crates[0].files[0], &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_allow_is_flagged() {
+        let out = run_on("#[allow(dead_code)]\nfn f() {}\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::StaleAllow);
+    }
+
+    #[test]
+    fn commented_allow_is_clean() {
+        let trailing = "#[allow(clippy::too_many_arguments)] // constructor plumbing\nfn f() {}\n";
+        assert!(run_on(trailing).is_empty());
+        let above = "// keeps the public signature stable across features\n#[allow(dead_code)]\nfn f() {}\n";
+        assert!(run_on(above).is_empty());
+    }
+
+    #[test]
+    fn test_scope_allows_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[allow(dead_code)]\n    fn f() {}\n}\n";
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn other_attributes_are_ignored() {
+        let src = "#[inline]\n#[derive(Clone)]\npub struct S;\n";
+        assert!(run_on(src).is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Token-level bans: DA001 hash order, DA002 wall-clock/entropy,
+//! DA003 float equality, DA004 library `unwrap`.
+//!
+//! These are the scope-aware successors of the original line-scanner
+//! checks. Running over the token stream (not raw lines) makes string
+//! literals and comments invisible, and the model's `test_lines` map
+//! exempts `#[cfg(test)]` scope wherever it sits in the file.
+
+use crate::diag::{Finding, Rule};
+use crate::lexer::TokenKind;
+use crate::model::{CrateSrc, SourceFile};
+
+use super::{finding, DETERMINISTIC_CRATES, ORDERING_CRATES};
+
+/// Runs DA001–DA004 over one file.
+pub fn run(krate: &CrateSrc, file: &SourceFile, out: &mut Vec<Finding>) {
+    let ordering = ORDERING_CRATES.contains(&krate.name.as_str());
+    let deterministic = DETERMINISTIC_CRATES.contains(&krate.name.as_str());
+    let tokens = &file.tokens;
+    let text = |i: usize| tokens[i].text(&file.source);
+    for i in 0..tokens.len() {
+        let tok = &tokens[i];
+        if file.is_test_line(tok.line) {
+            continue;
+        }
+        let t = text(i);
+        match tok.kind {
+            TokenKind::Ident => {
+                if ordering && (t == "HashMap" || t == "HashSet") {
+                    out.push(finding(
+                        file,
+                        Rule::HashOrder,
+                        tok.line,
+                        tok.col,
+                        format!(
+                            "`{t}` has randomized iteration order; use BTreeMap/BTreeSet/Vec \
+                             in ordering-sensitive crate `{}`",
+                            krate.name
+                        ),
+                    ));
+                }
+                if deterministic {
+                    if t == "thread_rng" || t == "from_entropy" {
+                        out.push(finding(
+                            file,
+                            Rule::WallClockEntropy,
+                            tok.line,
+                            tok.col,
+                            format!(
+                                "`{t}` draws OS entropy; derive a seeded stream via \
+                                 `dirca_sim::rng` instead"
+                            ),
+                        ));
+                    }
+                    if t == "Instant" || t == "SystemTime" {
+                        out.push(finding(
+                            file,
+                            Rule::WallClockEntropy,
+                            tok.line,
+                            tok.col,
+                            format!(
+                                "`{t}` reads the wall clock; simulated time must come from \
+                                 the event queue"
+                            ),
+                        ));
+                    }
+                    // `std::time::…` and `rand::rng(…)` by path shape.
+                    if t == "time" && i >= 2 && text(i - 1) == "::" && text(i - 2) == "std" {
+                        out.push(finding(
+                            file,
+                            Rule::WallClockEntropy,
+                            tok.line,
+                            tok.col,
+                            "`std::time` is banned in deterministic crates; simulated time \
+                             must come from the event queue"
+                                .to_string(),
+                        ));
+                    }
+                    if t == "rng"
+                        && i >= 2
+                        && text(i - 1) == "::"
+                        && text(i - 2) == "rand"
+                        && i + 1 < tokens.len()
+                        && text(i + 1) == "("
+                    {
+                        out.push(finding(
+                            file,
+                            Rule::WallClockEntropy,
+                            tok.line,
+                            tok.col,
+                            "`rand::rng()` draws OS entropy; derive a seeded stream via \
+                             `dirca_sim::rng` instead"
+                                .to_string(),
+                        ));
+                    }
+                }
+                if t == "unwrap"
+                    && i >= 1
+                    && text(i - 1) == "."
+                    && i + 1 < tokens.len()
+                    && text(i + 1) == "("
+                {
+                    out.push(finding(
+                        file,
+                        Rule::Unwrap,
+                        tok.line,
+                        tok.col,
+                        "library code must not `.unwrap()`; return a Result or use \
+                         `expect(\"why this cannot fail\")`"
+                            .to_string(),
+                    ));
+                }
+            }
+            TokenKind::Punct if t == "==" || t == "!=" => {
+                let float_neighbor = (i >= 1 && tokens[i - 1].kind == TokenKind::Float)
+                    || (i + 1 < tokens.len() && tokens[i + 1].kind == TokenKind::Float);
+                if float_neighbor {
+                    out.push(finding(
+                        file,
+                        Rule::FloatEq,
+                        tok.line,
+                        tok.col,
+                        format!("direct `{t}` against a float literal; compare with a tolerance"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Workspace;
+
+    fn run_on(crate_name: &str, src: &str) -> Vec<Finding> {
+        let ws =
+            Workspace::from_source(crate_name, &format!("crates/{crate_name}/src/lib.rs"), src);
+        let mut out = Vec::new();
+        run(&ws.crates[0], &ws.crates[0].files[0], &mut out);
+        out
+    }
+
+    #[test]
+    fn hash_collections_flagged_in_ordering_crates_only() {
+        let src =
+            "use std::collections::HashMap;\npub fn f() -> HashMap<u32, u32> { HashMap::new() }\n";
+        assert_eq!(
+            run_on("net", src)
+                .iter()
+                .filter(|f| f.rule == Rule::HashOrder)
+                .count(),
+            3
+        );
+        assert!(run_on("analysis", src)
+            .iter()
+            .all(|f| f.rule != Rule::HashOrder));
+    }
+
+    #[test]
+    fn strings_and_comments_are_invisible() {
+        let src = "// HashMap in a comment\npub fn f() -> &'static str { \"HashMap x.unwrap() 1.0 == y\" }\n";
+        assert!(run_on("net", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_paths_flagged() {
+        let src = "pub fn f() -> u64 { std::time::UNIX_EPOCH; 0 }\n";
+        let out = run_on("sim", src);
+        assert!(out.iter().any(|f| f.rule == Rule::WallClockEntropy));
+    }
+
+    #[test]
+    fn float_eq_flagged_outside_tests_only() {
+        let lib = "pub fn f(x: f64) -> bool { x == 1.0 }\n";
+        assert_eq!(run_on("mac", lib).len(), 1);
+        let test = "#[cfg(test)]\nmod tests {\n    fn f(x: f64) -> bool { x == 1.0 }\n}\n";
+        assert!(run_on("mac", test).is_empty());
+    }
+
+    #[test]
+    fn range_and_method_calls_are_not_floats() {
+        // `0..10`, `x.0`, and `1.max(2)` must not produce Float tokens that
+        // then collide with `==` detection.
+        let src = "pub fn f(t: (u64, u64)) -> bool { t.0 == 1 && (0..10).len() == 1.max(2) }\n";
+        assert!(run_on("mac", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_everywhere_outside_tests() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(run_on("analysis", src).len(), 1);
+        assert_eq!(run_on("analysis", src)[0].rule, Rule::Unwrap);
+        // unwrap_or is a different identifier.
+        let src2 = "pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+        assert!(run_on("analysis", src2).is_empty());
+    }
+}

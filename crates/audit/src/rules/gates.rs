@@ -1,0 +1,193 @@
+//! DA006 — feature-gate symmetry.
+//!
+//! The trace/audit observability layers are non-perturbing *by
+//! construction*: every feature-gated public hook has a
+//! `cfg(not(feature = …))` no-op twin, so call sites compile identically
+//! with the feature off and the gated layer cannot leak behavior into
+//! ungated builds. This pass enforces the pattern: a `pub fn` gated on a
+//! feature needs, in the same file, either
+//!
+//! * a same-named `pub fn` gated on `not(feature = …)`, or
+//! * to live in a module that is itself gated on that feature (the whole
+//!   surface disappears together — callers must be gated too or the build
+//!   breaks, which is its own enforcement), or
+//! * an `audit-allow(gate-symmetry): why` when the signature genuinely
+//!   cannot exist without the feature (it mentions gated types).
+
+use std::collections::BTreeSet;
+
+use crate::diag::{Finding, Rule};
+use crate::model::{CrateSrc, Item, ItemKind, SourceFile, Workspace};
+
+use super::finding;
+
+/// A `(path-or-prefix, feature)` pair marking files wholly gated by a
+/// feature via a `#[cfg(feature = …)] mod x;` declaration. Entries ending
+/// in `/` are directory prefixes.
+pub type GatedFiles = Vec<(String, String)>;
+
+/// Finds files that are feature-gated as whole modules anywhere in the
+/// workspace.
+pub fn gated_module_files(ws: &Workspace) -> GatedFiles {
+    let mut out = GatedFiles::new();
+    for krate in &ws.crates {
+        for file in &krate.files {
+            let Some(dir) = file.rel_path.rfind('/').map(|i| &file.rel_path[..i]) else {
+                continue;
+            };
+            for item in file.all_items() {
+                if item.kind != ItemKind::Mod || !item.children.is_empty() {
+                    continue;
+                }
+                for feature in item.own_positive_features() {
+                    out.push((format!("{dir}/{}.rs", item.name), feature.clone()));
+                    out.push((format!("{dir}/{}/", item.name), feature));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the symmetry check over one file.
+pub fn run(_krate: &CrateSrc, file: &SourceFile, gated: &GatedFiles, out: &mut Vec<Finding>) {
+    // Features under which this whole file compiles (or not at all).
+    let file_features: BTreeSet<&str> = gated
+        .iter()
+        .filter(|(prefix, _)| {
+            file.rel_path == *prefix
+                || (prefix.ends_with('/') && file.rel_path.starts_with(prefix.as_str()))
+        })
+        .map(|(_, f)| f.as_str())
+        .collect();
+    // Counterpart index: fn name → negatively-asserted features.
+    let mut negatives: Vec<(&str, String)> = Vec::new();
+    for item in file.all_items() {
+        if item.kind == ItemKind::Fn {
+            for f in item.own_negative_features() {
+                negatives.push((item.name.as_str(), f));
+            }
+        }
+    }
+    check_items(&file.items, &[], file, &file_features, &negatives, out);
+}
+
+fn check_items(
+    items: &[Item],
+    ancestor_features: &[String],
+    file: &SourceFile,
+    file_features: &BTreeSet<&str>,
+    negatives: &[(&str, String)],
+    out: &mut Vec<Finding>,
+) {
+    for item in items {
+        let mut inherited = ancestor_features.to_vec();
+        inherited.extend(item.own_positive_features());
+        if item.kind == ItemKind::Fn
+            && item.is_pub
+            && !item.own_test()
+            && !file.is_test_line(item.line)
+        {
+            for feature in item.own_positive_features() {
+                let in_gated_file = file_features.contains(feature.as_str());
+                let in_gated_scope = ancestor_features.contains(&feature);
+                let has_twin = negatives
+                    .iter()
+                    .any(|(name, f)| *name == item.name && *f == feature);
+                if !in_gated_file && !in_gated_scope && !has_twin {
+                    out.push(finding(
+                        file,
+                        Rule::GateSymmetry,
+                        item.line,
+                        item.col,
+                        format!(
+                            "pub fn `{}` is gated on feature \"{feature}\" with no \
+                             `#[cfg(not(feature = \"{feature}\"))]` no-op counterpart in \
+                             this file",
+                            item.name
+                        ),
+                    ));
+                }
+            }
+        }
+        check_items(
+            &item.children,
+            &inherited,
+            file,
+            file_features,
+            negatives,
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_single(src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_source("sim", "crates/sim/src/engine.rs", src);
+        let gated = gated_module_files(&ws);
+        let mut out = Vec::new();
+        run(&ws.crates[0], &ws.crates[0].files[0], &gated, &mut out);
+        out
+    }
+
+    #[test]
+    fn gated_fn_without_twin_is_flagged() {
+        let out = run_single("#[cfg(feature = \"audit\")]\npub fn finish_audit(&self) {}\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::GateSymmetry);
+        assert!(out[0].message.contains("finish_audit"));
+    }
+
+    #[test]
+    fn gated_fn_with_twin_is_clean() {
+        let out = run_single(
+            "#[cfg(feature = \"audit\")]\npub fn finish_audit(&self) { work(); }\n\
+             #[cfg(not(feature = \"audit\"))]\npub fn finish_audit(&self) {}\n",
+        );
+        assert!(out.is_empty(), "unexpected: {out:?}");
+    }
+
+    #[test]
+    fn private_fns_and_methods_in_gated_modules_are_exempt() {
+        // Private: callers are in this file and must themselves be gated.
+        let private = run_single("#[cfg(feature = \"audit\")]\nfn helper() {}\n");
+        assert!(private.is_empty());
+        // Inside a module gated on the same feature: the surface vanishes
+        // as a unit.
+        let scoped =
+            run_single("#[cfg(feature = \"trace\")]\npub mod hooks {\n    pub fn emit() {}\n}\n");
+        assert!(scoped.is_empty(), "unexpected: {scoped:?}");
+        // …but a *different* feature inside still needs a twin.
+        let cross = run_single(
+            "#[cfg(feature = \"trace\")]\npub mod hooks {\n    #[cfg(feature = \"audit\")]\n    pub fn emit() {}\n}\n",
+        );
+        assert_eq!(cross.len(), 1);
+    }
+
+    #[test]
+    fn fn_in_feature_gated_module_file_is_exempt() {
+        let lib = Workspace::from_source(
+            "trace",
+            "crates/trace/src/lib.rs",
+            "#[cfg(feature = \"trace\")]\npub mod record;\n",
+        );
+        let record = Workspace::from_source(
+            "trace",
+            "crates/trace/src/record.rs",
+            "#[cfg(feature = \"trace\")]\npub fn attach() {}\n",
+        );
+        let mut ws = lib;
+        ws.crates[0]
+            .files
+            .extend(record.crates.into_iter().flat_map(|c| c.files));
+        let gated = gated_module_files(&ws);
+        let mut out = Vec::new();
+        for file in &ws.crates[0].files {
+            run(&ws.crates[0], file, &gated, &mut out);
+        }
+        assert!(out.is_empty(), "unexpected: {out:?}");
+    }
+}

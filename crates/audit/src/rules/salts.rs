@@ -1,0 +1,234 @@
+//! DA005 — RNG stream-salt discipline.
+//!
+//! Independent RNG streams are derived with `derive_seed(master, salt)`;
+//! two streams sharing a salt silently correlate. Three checks keep the
+//! salt space honest:
+//!
+//! 1. every `*_STREAM_SALT` const must live in the registry file
+//!    ([`super::SALT_REGISTRY_FILE`]), the one place where uniqueness is
+//!    reviewable;
+//! 2. no two salt consts may share a value;
+//! 3. `derive_seed` call sites must pass a named const, not an integer
+//!    literal (literals dodge the registry entirely).
+
+use crate::diag::{Finding, Rule};
+use crate::lexer::{self, TokenKind};
+use crate::model::{CrateSrc, ItemKind, SourceFile, Workspace};
+
+use super::{finding, SALT_REGISTRY_FILE};
+
+/// One discovered salt constant.
+#[derive(Debug)]
+struct SaltConst<'a> {
+    file: &'a SourceFile,
+    name: String,
+    line: u32,
+    col: u32,
+    /// The literal value, when the initializer is a single integer token.
+    value: Option<u128>,
+}
+
+/// Runs the registry-location and uniqueness checks over the whole
+/// workspace (cross-file by nature).
+pub fn run_consts(ws: &Workspace, out: &mut Vec<Finding>) {
+    let mut consts: Vec<SaltConst<'_>> = Vec::new();
+    for krate in &ws.crates {
+        for file in &krate.files {
+            for item in file.all_items() {
+                if item.kind != ItemKind::Const
+                    || !item.name.ends_with("_STREAM_SALT")
+                    || file.is_test_line(item.line)
+                {
+                    continue;
+                }
+                let value = item.value_tokens.and_then(|(s, e)| {
+                    let toks = &file.tokens[s..e];
+                    match toks {
+                        [only] if only.kind == TokenKind::Int => {
+                            lexer::int_value(only.text(&file.source))
+                        }
+                        _ => None,
+                    }
+                });
+                consts.push(SaltConst {
+                    file,
+                    name: item.name.clone(),
+                    line: item.line,
+                    col: item.col,
+                    value,
+                });
+            }
+        }
+    }
+    for c in &consts {
+        if c.file.rel_path != SALT_REGISTRY_FILE {
+            out.push(finding(
+                c.file,
+                Rule::SaltUnique,
+                c.line,
+                c.col,
+                format!(
+                    "stream salt `{}` is defined outside the registry; move it to {}",
+                    c.name, SALT_REGISTRY_FILE
+                ),
+            ));
+        }
+    }
+    // Pairwise value uniqueness: report each later duplicate against the
+    // first definition of that value.
+    for (i, c) in consts.iter().enumerate() {
+        let Some(v) = c.value else { continue };
+        if let Some(first) = consts[..i]
+            .iter()
+            .find(|p| p.value == Some(v) && p.name != c.name)
+        {
+            out.push(finding(
+                c.file,
+                Rule::SaltUnique,
+                c.line,
+                c.col,
+                format!(
+                    "stream salt `{}` duplicates the value of `{}` ({}:{}); correlated \
+                     RNG streams",
+                    c.name, first.name, first.file.rel_path, first.line
+                ),
+            ));
+        }
+    }
+}
+
+/// Flags integer literals in the salt position of `derive_seed(master,
+/// salt)` calls in one file.
+pub fn run_calls(_krate: &CrateSrc, file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    let text = |i: usize| tokens[i].text(&file.source);
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident
+            || text(i) != "derive_seed"
+            || i + 1 >= tokens.len()
+            || text(i + 1) != "("
+            || file.is_test_line(tokens[i].line)
+        {
+            continue;
+        }
+        // Split the argument list at depth-0 commas; inspect the second
+        // argument (the stream salt).
+        let mut depth = 0i32;
+        let mut arg_start = i + 2;
+        let mut args: Vec<(usize, usize)> = Vec::new();
+        let mut j = i + 1;
+        while j < tokens.len() {
+            match text(j) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        args.push((arg_start, j));
+                        break;
+                    }
+                }
+                "," if depth == 1 => {
+                    args.push((arg_start, j));
+                    arg_start = j + 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(&(s, e)) = args.get(1) {
+            if let Some(lit) = tokens[s..e].iter().find(|t| t.kind == TokenKind::Int) {
+                out.push(finding(
+                    file,
+                    Rule::SaltUnique,
+                    lit.line,
+                    lit.col,
+                    format!(
+                        "literal stream salt `{}` at a derive_seed call; bind it to a \
+                         documented const in {}",
+                        lit.text(&file.source),
+                        SALT_REGISTRY_FILE
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ws(files: &[(&str, &str)]) -> Vec<Finding> {
+        let mut ws = Workspace { crates: vec![] };
+        for (path, src) in files {
+            let one = Workspace::from_source("net", path, src);
+            ws.crates.extend(one.crates);
+        }
+        let mut out = Vec::new();
+        run_consts(&ws, &mut out);
+        for krate in &ws.crates {
+            for file in &krate.files {
+                run_calls(krate, file, &mut out);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn registry_consts_with_unique_values_are_clean() {
+        let out = run_ws(&[(
+            SALT_REGISTRY_FILE,
+            "pub const FAULT_STREAM_SALT: u64 = 0xFA17_1A11;\n\
+             pub const TOPOLOGY_STREAM_SALT: u64 = 0xA11CE;\n",
+        )]);
+        assert!(out.is_empty(), "unexpected: {out:?}");
+    }
+
+    #[test]
+    fn duplicate_values_are_flagged_once() {
+        let out = run_ws(&[(
+            SALT_REGISTRY_FILE,
+            "pub const A_STREAM_SALT: u64 = 0x10;\npub const B_STREAM_SALT: u64 = 0x10;\n",
+        )]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("duplicates the value"));
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn salt_outside_registry_is_flagged() {
+        let out = run_ws(&[(
+            "crates/net/src/world.rs",
+            "pub const FAULT_STREAM_SALT: u64 = 0xFA17_1A11;\n",
+        )]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("outside the registry"));
+    }
+
+    #[test]
+    fn literal_salt_at_call_site_is_flagged() {
+        let out = run_ws(&[(
+            "crates/net/src/world.rs",
+            "fn f(seed: u64, t: u64) -> u64 { derive_seed(seed, 0xB0B + t) }\n",
+        )]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("literal stream salt `0xB0B`"));
+        // A named const in salt position is fine; literals in the *master*
+        // position (first arg) are not salt material.
+        let clean = run_ws(&[(
+            "crates/net/src/world.rs",
+            "fn f(s: u64) -> u64 { derive_seed(derive_seed(s, SALT), OTHER) }\n",
+        )]);
+        assert!(clean.is_empty(), "unexpected: {clean:?}");
+    }
+
+    #[test]
+    fn underscored_hex_values_compare_equal() {
+        let out = run_ws(&[(
+            SALT_REGISTRY_FILE,
+            "pub const A_STREAM_SALT: u64 = 0xFA17_1A11;\n\
+             pub const B_STREAM_SALT: u64 = 0xFA171A11;\n",
+        )]);
+        assert_eq!(out.len(), 1, "same value spelled differently: {out:?}");
+    }
+}

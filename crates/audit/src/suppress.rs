@@ -1,0 +1,235 @@
+//! Explicit finding suppression: `// audit-allow(rule): why`.
+//!
+//! A suppression comment names one or more rules (by short name or ID)
+//! and must carry a non-empty justification after the colon. It applies
+//! to findings on its own line (trailing comment) or on the next code
+//! line (standalone comment). A suppression that matches no finding is
+//! itself reported under `DA009 stale-allow`, so dead allows cannot
+//! accumulate.
+
+use crate::diag::{Finding, Rule};
+use crate::model::SourceFile;
+
+/// One parsed `audit-allow` directive.
+#[derive(Debug)]
+pub struct Suppression {
+    /// Rules this directive may suppress.
+    pub rules: Vec<Rule>,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+    /// Whether a non-empty reason followed the colon.
+    pub has_reason: bool,
+    /// Rule names that did not resolve (typos — reported, never silently
+    /// ignored).
+    pub unknown: Vec<String>,
+    /// Whether the directive suppressed at least one finding.
+    pub used: bool,
+}
+
+/// Extracts all suppression directives from one file's comments.
+pub fn collect(file: &SourceFile) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for comment in &file.comments {
+        // A directive must start the comment (after the `//`-style markers)
+        // so prose *about* `audit-allow(...)` in docs is never a directive.
+        let text = comment
+            .text(&file.source)
+            .trim_start_matches(['/', '*', '!', ' ', '\t']);
+        let Some(after) = text.strip_prefix("audit-allow(") else {
+            continue;
+        };
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        let names = &after[..close];
+        let rest = &after[close + 1..];
+        let has_reason = rest.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
+        let mut rules = Vec::new();
+        let mut unknown = Vec::new();
+        for raw in names.split(',') {
+            let name = raw.trim();
+            if name.is_empty() {
+                continue;
+            }
+            match Rule::parse(name) {
+                Some(rule) => rules.push(rule),
+                None => unknown.push(name.to_string()),
+            }
+        }
+        out.push(Suppression {
+            rules,
+            line: comment.line,
+            col: 1,
+            has_reason,
+            unknown,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Marks findings suppressed where a directive covers them, flags the
+/// directive used, and appends `DA009` findings for malformed or unused
+/// directives.
+///
+/// Findings belonging to other files are ignored, so the caller may pass
+/// the whole workspace's findings.
+pub fn apply(
+    file: &SourceFile,
+    suppressions: &mut [Suppression],
+    findings: &mut [Finding],
+    stale: &mut Vec<Finding>,
+) {
+    for finding in findings.iter_mut() {
+        if finding.file != file.rel_path {
+            continue;
+        }
+        for sup in suppressions.iter_mut() {
+            let covers = sup.line == finding.line || sup.line + 1 == finding.line;
+            if covers && sup.rules.contains(&finding.rule) && sup.has_reason {
+                finding.suppressed = true;
+                sup.used = true;
+            }
+        }
+    }
+    for sup in suppressions {
+        if !sup.has_reason {
+            stale.push(stale_finding(
+                file,
+                sup.line,
+                "audit-allow without a justification: write `audit-allow(rule): why`".to_string(),
+            ));
+        }
+        for unknown in &sup.unknown {
+            stale.push(stale_finding(
+                file,
+                sup.line,
+                format!("audit-allow names unknown rule `{unknown}`"),
+            ));
+        }
+        if sup.has_reason && sup.unknown.is_empty() && !sup.used {
+            let names: Vec<_> = sup.rules.iter().map(|r| r.name()).collect();
+            stale.push(stale_finding(
+                file,
+                sup.line,
+                format!(
+                    "stale audit-allow({}): it suppresses nothing on this or the next line",
+                    names.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+fn stale_finding(file: &SourceFile, line: u32, message: String) -> Finding {
+    Finding {
+        rule: Rule::StaleAllow,
+        file: file.rel_path.clone(),
+        line,
+        col: 1,
+        message,
+        snippet: file.line_text(line).to_string(),
+        suppressed: false,
+        baselined: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::parse_file;
+
+    fn file(src: &str) -> SourceFile {
+        parse_file("crates/net/src/x.rs".to_string(), src.to_string())
+    }
+
+    fn finding(rule: Rule, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: "crates/net/src/x.rs".into(),
+            line,
+            col: 1,
+            message: "m".into(),
+            snippet: String::new(),
+            suppressed: false,
+            baselined: false,
+        }
+    }
+
+    #[test]
+    fn trailing_and_preceding_comments_suppress() {
+        let src = "\
+let a = x.unwrap(); // audit-allow(unwrap): cannot fail, checked above
+// audit-allow(unwrap): prototype code
+let b = y.unwrap();
+";
+        let f = file(src);
+        let mut sups = collect(&f);
+        assert_eq!(sups.len(), 2);
+        let mut findings = vec![finding(Rule::Unwrap, 1), finding(Rule::Unwrap, 3)];
+        let mut stale = Vec::new();
+        apply(&f, &mut sups, &mut findings, &mut stale);
+        assert!(findings.iter().all(|f| f.suppressed));
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn wrong_rule_does_not_suppress() {
+        let src = "let a = x.unwrap(); // audit-allow(float-eq): wrong rule\n";
+        let f = file(src);
+        let mut sups = collect(&f);
+        let mut findings = vec![finding(Rule::Unwrap, 1)];
+        let mut stale = Vec::new();
+        apply(&f, &mut sups, &mut findings, &mut stale);
+        assert!(!findings[0].suppressed);
+        // …and the allow is stale: it suppressed nothing.
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, Rule::StaleAllow);
+    }
+
+    #[test]
+    fn missing_reason_is_flagged_and_inert() {
+        let src = "let a = x.unwrap(); // audit-allow(unwrap)\n";
+        let f = file(src);
+        let mut sups = collect(&f);
+        let mut findings = vec![finding(Rule::Unwrap, 1)];
+        let mut stale = Vec::new();
+        apply(&f, &mut sups, &mut findings, &mut stale);
+        assert!(!findings[0].suppressed, "reasonless allows are inert");
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].message.contains("without a justification"));
+    }
+
+    #[test]
+    fn unknown_rule_is_flagged() {
+        let src = "// audit-allow(not-a-rule): hm\nlet a = 1;\n";
+        let f = file(src);
+        let mut sups = collect(&f);
+        let mut stale = Vec::new();
+        apply(&f, &mut sups, &mut [], &mut stale);
+        assert!(stale
+            .iter()
+            .any(|s| s.message.contains("unknown rule `not-a-rule`")));
+    }
+
+    #[test]
+    fn prose_about_directives_is_not_a_directive() {
+        let src = "/// Honors `audit-allow(rule): why` comments in docs.\nfn f() {}\n";
+        let f = file(src);
+        assert!(collect(&f).is_empty());
+    }
+
+    #[test]
+    fn multi_rule_directive() {
+        let src = "let a = v[i].unwrap(); // audit-allow(unwrap, panic-path): i < len checked\n";
+        let f = file(src);
+        let mut sups = collect(&f);
+        let mut findings = vec![finding(Rule::Unwrap, 1), finding(Rule::PanicPath, 1)];
+        let mut stale = Vec::new();
+        apply(&f, &mut sups, &mut findings, &mut stale);
+        assert!(findings.iter().all(|f| f.suppressed));
+        assert!(stale.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end tests of the `dirca-audit` binary: exit codes, human and
+//! JSON output, the baseline round trip, and the real-workspace gate.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use dirca_audit::json::{self, Value};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dirca-audit"))
+}
+
+fn fixture_root(rule: &str, variant: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+        .join(variant)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn clean_fixture_exits_zero() {
+    let out = bin()
+        .args(["--root"])
+        .arg(fixture_root("unwrap", "clean"))
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("0 active finding(s)"));
+}
+
+#[test]
+fn bad_fixture_exits_one_with_span_and_snippet() {
+    let out = bin()
+        .args(["--root"])
+        .arg(fixture_root("unwrap", "bad"))
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(
+        text.contains("crates/analysis/src/lib.rs:3:24: [DA004 unwrap]"),
+        "missing pinned span in:\n{text}"
+    );
+    assert!(text.contains("v.first().copied().unwrap()"), "{text}");
+    assert!(text.contains("1 active finding(s)"), "{text}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let bad_flag = bin().args(["--format", "yaml"]).output().expect("spawn");
+    assert_eq!(bad_flag.status.code(), Some(2));
+    let bad_root = bin()
+        .args(["--root", "/nonexistent-dirca-root"])
+        .output()
+        .expect("spawn");
+    assert_eq!(bad_root.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad_root.stderr).contains("dirca-audit:"));
+    let bad_ref = bin()
+        .args(["--diff-base", "not-a-real-ref-00000"])
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("spawn");
+    assert_eq!(bad_ref.status.code(), Some(2));
+}
+
+#[test]
+fn list_rules_prints_the_whole_catalog() {
+    let out = bin().arg("--list-rules").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 9, "{text}");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("DA00{}", i + 1)),
+            "line {i}: {line}"
+        );
+    }
+}
+
+#[test]
+fn json_output_round_trips_through_the_reader() {
+    let out = bin()
+        .args(["--format", "json", "--root"])
+        .arg(fixture_root("dispatch-purity", "bad"))
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let doc = json::parse(&stdout(&out)).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("dirca-audit/1")
+    );
+    // The rule catalog rides along so consumers can map IDs to prose.
+    let rules = doc.get("rules").and_then(Value::as_arr).expect("rules");
+    assert_eq!(rules.len(), 9);
+    assert_eq!(rules[0].get("id").and_then(Value::as_str), Some("DA001"));
+    // Findings carry the full span; the println snippet exercises quote
+    // escaping through write + parse.
+    let findings = doc
+        .get("findings")
+        .and_then(Value::as_arr)
+        .expect("findings");
+    assert_eq!(findings.len(), 2);
+    let f = &findings[1];
+    assert_eq!(f.get("rule").and_then(Value::as_str), Some("DA007"));
+    assert_eq!(
+        f.get("file").and_then(Value::as_str),
+        Some("crates/mac/src/lib.rs")
+    );
+    assert_eq!(f.get("line").and_then(Value::as_num), Some(5.0));
+    assert_eq!(
+        f.get("snippet").and_then(Value::as_str),
+        Some("println!(\"{x}\");")
+    );
+    let summary = doc.get("summary").expect("summary");
+    assert_eq!(summary.get("active").and_then(Value::as_num), Some(2.0));
+    assert_eq!(summary.get("suppressed").and_then(Value::as_num), Some(0.0));
+}
+
+#[test]
+fn baseline_round_trip_absorbs_findings() {
+    let dir = std::env::temp_dir().join(format!("dirca-audit-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let baseline = dir.join("baseline.json");
+
+    // Write the bad fixture's findings into a baseline…
+    let write = bin()
+        .args(["--write-baseline", "--baseline"])
+        .arg(&baseline)
+        .arg("--root")
+        .arg(fixture_root("unwrap", "bad"))
+        .output()
+        .expect("spawn");
+    assert_eq!(write.status.code(), Some(0), "{}", stdout(&write));
+    let doc = json::parse(&std::fs::read_to_string(&baseline).expect("baseline written"))
+        .expect("valid baseline JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("dirca-audit-baseline/1")
+    );
+    assert_eq!(
+        doc.get("entries")
+            .and_then(Value::as_arr)
+            .map(<[Value]>::len),
+        Some(1)
+    );
+
+    // …then the same run under that baseline gates nothing.
+    let gated = bin()
+        .args(["--baseline"])
+        .arg(&baseline)
+        .arg("--root")
+        .arg(fixture_root("unwrap", "bad"))
+        .output()
+        .expect("spawn");
+    assert_eq!(gated.status.code(), Some(0), "{}", stdout(&gated));
+    assert!(
+        stdout(&gated).contains("0 active finding(s) (0 suppressed, 1 baselined)"),
+        "{}",
+        stdout(&gated)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn real_workspace_is_clean_under_the_empty_committed_baseline() {
+    // The acceptance gate: the analyzer over the actual workspace, with
+    // the checked-in baseline, reports zero active findings.
+    let root = workspace_root();
+    let committed = std::fs::read_to_string(root.join("audit-baseline.json"))
+        .expect("committed baseline exists");
+    let doc = json::parse(&committed).expect("valid baseline");
+    assert_eq!(
+        doc.get("entries")
+            .and_then(Value::as_arr)
+            .map(<[Value]>::len),
+        Some(0),
+        "workspace policy: the committed baseline stays empty"
+    );
+    let out = bin().arg("--root").arg(&root).output().expect("spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace has active findings:\n{}",
+        stdout(&out)
+    );
+}

@@ -1,0 +1,14 @@
+//! Fixture: the old line-scanner bug — a non-trailing `#[cfg(test)]`
+//! module must not exempt the library code that follows it.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch() {
+        let v = vec![1u32];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}
+
+pub fn library_code(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}

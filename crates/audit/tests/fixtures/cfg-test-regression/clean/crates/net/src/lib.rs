@@ -1,0 +1,13 @@
+//! Fixture: non-trailing test module, clean library code after it.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch() {
+        let v = vec![1u32];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}
+
+pub fn library_code(v: &[u32]) -> u32 {
+    v.first().copied().expect("callers pass non-empty slices")
+}

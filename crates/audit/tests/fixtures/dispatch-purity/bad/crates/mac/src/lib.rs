@@ -1,0 +1,6 @@
+//! Fixture: interior mutability and output in a dispatch crate.
+use std::cell::RefCell;
+
+pub fn log(x: u32) {
+    println!("{x}");
+}

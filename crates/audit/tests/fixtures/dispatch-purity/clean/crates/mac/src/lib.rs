@@ -1,0 +1,10 @@
+//! Fixture: pure state machine passes; fmt is fine.
+use std::fmt;
+
+pub struct S(pub u32);
+
+impl fmt::Display for S {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}

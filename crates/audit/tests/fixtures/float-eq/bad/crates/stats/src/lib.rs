@@ -1,0 +1,4 @@
+//! Fixture: direct float-literal equality.
+pub fn at_origin(x: f64) -> bool {
+    x == 0.25
+}

@@ -1,0 +1,14 @@
+//! Fixture: tolerance comparison passes; test scope is exempt.
+pub fn at_origin(x: f64) -> bool {
+    (x - 0.25).abs() < 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_in_tests_is_fine() {
+        assert!(super::at_origin(0.25) == true);
+        let y = 0.25;
+        assert!(y == 0.25);
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: gated pub hook with no counterpart.
+#[cfg(feature = "trace")]
+pub fn set_probe(on: bool) {
+    let _ = on;
+}

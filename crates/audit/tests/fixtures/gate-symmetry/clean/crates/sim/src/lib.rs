@@ -1,0 +1,12 @@
+//! Fixture: gated hook with a no-op twin; private helpers exempt.
+#[cfg(feature = "trace")]
+pub fn set_probe(on: bool) {
+    let _ = on;
+}
+
+/// No-op counterpart so call sites compile with the feature off.
+#[cfg(not(feature = "trace"))]
+pub fn set_probe(_on: bool) {}
+
+#[cfg(feature = "trace")]
+fn private_helper() {}

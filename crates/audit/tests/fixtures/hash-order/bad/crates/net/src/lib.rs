@@ -1,0 +1,6 @@
+//! Fixture: hash collections in an ordering-sensitive crate.
+use std::collections::HashMap;
+
+pub fn stats() -> HashMap<u32, u32> {
+    HashMap::new()
+}

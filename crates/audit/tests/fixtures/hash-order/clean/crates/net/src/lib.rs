@@ -1,0 +1,16 @@
+//! Fixture: ordered collections pass.
+use std::collections::BTreeMap;
+
+pub fn stats() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    // HashMap is fine in test scope.
+    use std::collections::HashMap;
+
+    fn scratch() -> HashMap<u32, u32> {
+        HashMap::new()
+    }
+}

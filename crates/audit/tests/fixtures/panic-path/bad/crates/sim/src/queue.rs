@@ -1,0 +1,5 @@
+//! Fixture: unjustified panic sites on the hot path.
+pub fn pop(slots: &mut Vec<Option<u32>>, i: usize) -> u32 {
+    let v = slots[i];
+    v.expect("slot occupied")
+}

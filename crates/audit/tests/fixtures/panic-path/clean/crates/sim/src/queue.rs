@@ -1,0 +1,6 @@
+//! Fixture: justified panic sites pass.
+pub fn pop(slots: &mut Vec<Option<u32>>, i: usize) -> u32 {
+    // panic-path: callers only pass indices of occupied slots.
+    let v = slots[i];
+    v.expect("slot occupied")
+}

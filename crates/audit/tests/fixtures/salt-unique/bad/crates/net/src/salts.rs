@@ -1,0 +1,3 @@
+//! Fixture: registry with a duplicated salt value.
+pub const ALPHA_STREAM_SALT: u64 = 0xA11CE;
+pub const BETA_STREAM_SALT: u64 = 0xA11CE;

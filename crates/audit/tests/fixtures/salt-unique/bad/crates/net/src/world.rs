@@ -1,0 +1,8 @@
+//! Fixture: salt const outside the registry and a literal call-site salt.
+const ROGUE_STREAM_SALT: u64 = 0xBAD;
+
+pub fn seeds(master: u64, t: u64) -> (u64, u64) {
+    let a = derive_seed(master, ROGUE_STREAM_SALT);
+    let b = derive_seed(master, 0xFACE + t);
+    (a, b)
+}

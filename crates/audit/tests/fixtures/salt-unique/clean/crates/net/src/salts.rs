@@ -1,0 +1,3 @@
+//! Fixture: unique salts in the registry.
+pub const ALPHA_STREAM_SALT: u64 = 0xA11CE;
+pub const BETA_STREAM_SALT: u64 = 0xB0B;

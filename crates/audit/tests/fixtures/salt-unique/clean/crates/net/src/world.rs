@@ -1,0 +1,8 @@
+//! Fixture: call sites bind salts to registry consts.
+use crate::salts::{ALPHA_STREAM_SALT, BETA_STREAM_SALT};
+
+pub fn seeds(master: u64, t: u64) -> (u64, u64) {
+    let a = derive_seed(master, ALPHA_STREAM_SALT);
+    let b = derive_seed(master, BETA_STREAM_SALT + t);
+    (a, b)
+}

@@ -1,0 +1,9 @@
+//! Fixture: unjustified and stale suppressions.
+
+#[allow(dead_code)]
+fn unused() {}
+
+// audit-allow(unwrap): nothing here to suppress
+pub fn fine() {}
+
+pub fn also_fine() {} // audit-allow(unwrap)

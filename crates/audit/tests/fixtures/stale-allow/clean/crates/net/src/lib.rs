@@ -1,0 +1,7 @@
+//! Fixture: justified allow and a working suppression.
+#[allow(dead_code)] // kept for the ablation harness
+fn unused() {}
+
+pub fn first(v: &[u32]) -> u32 {
+    v.first().copied().unwrap() // audit-allow(unwrap): fixture exercises a live suppression
+}

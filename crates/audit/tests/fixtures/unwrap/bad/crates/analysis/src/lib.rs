@@ -1,0 +1,4 @@
+//! Fixture: library unwrap.
+pub fn first(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,13 @@
+//! Fixture: documented expect and test-scope unwrap pass.
+pub fn first(v: &[u32]) -> u32 {
+    v.first().copied().expect("callers pass non-empty slices")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u32];
+        assert_eq!(v.first().copied().unwrap(), 1);
+    }
+}

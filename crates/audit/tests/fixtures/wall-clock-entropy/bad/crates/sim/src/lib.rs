@@ -1,0 +1,5 @@
+//! Fixture: entropy draw in a deterministic crate.
+pub fn seed() -> u64 {
+    let mut r = rand::thread_rng();
+    r.random()
+}

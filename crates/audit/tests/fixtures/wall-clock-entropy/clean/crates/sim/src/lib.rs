@@ -1,0 +1,5 @@
+//! Fixture: seeded streams pass; "std::time" in a string is invisible.
+pub fn seed(master: u64) -> u64 {
+    let _ = "std::time::Instant::now() thread_rng from_entropy";
+    master.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

@@ -1,0 +1,55 @@
+//! Regression: `#[cfg(test)]` modules that are *not* the last item in a
+//! file must not exempt the library code that follows them.
+//!
+//! The original line-based scanner entered "test mode" at the first
+//! `#[cfg(test)]` line and never left it, so any library code below a
+//! test module was silently unchecked. The item-level model tracks test
+//! scope by span instead; these tests pin that behavior.
+
+use std::path::{Path, PathBuf};
+
+use dirca_audit::model::parse_file;
+
+fn fixture_root(variant: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/cfg-test-regression")
+        .join(variant)
+}
+
+#[test]
+fn library_code_below_a_test_module_is_still_checked() {
+    let analysis = dirca_audit::analyze(&fixture_root("bad")).expect("fixture loads");
+    let active: Vec<_> = analysis.active().collect();
+    // Exactly one finding: the unwrap in `library_code` (line 13). The
+    // identical unwrap inside the preceding test module (line 8) is
+    // exempt.
+    assert_eq!(active.len(), 1, "{active:?}");
+    assert_eq!(active[0].rule.id(), "DA004");
+    assert_eq!(active[0].file, "crates/net/src/lib.rs");
+    assert_eq!((active[0].line, active[0].col), (13, 24));
+}
+
+#[test]
+fn clean_variant_is_silent() {
+    let analysis = dirca_audit::analyze(&fixture_root("clean")).expect("fixture loads");
+    assert_eq!(analysis.active_count(), 0);
+}
+
+#[test]
+fn test_scope_is_span_bounded_not_sticky() {
+    // Direct model-level pin of the same property, independent of any
+    // rule: lines inside the test module are test scope, lines after its
+    // closing brace are not.
+    let src = "\
+#[cfg(test)]
+mod tests {
+    fn scratch() {}
+}
+
+pub fn library() {}
+";
+    let file = parse_file("crates/net/src/lib.rs".to_string(), src.to_string());
+    assert!(file.is_test_line(2), "inside the module");
+    assert!(file.is_test_line(3), "inside the module");
+    assert!(!file.is_test_line(6), "after the closing brace");
+}

@@ -128,7 +128,10 @@ fn engine_microbench() -> EngineBench {
     let spec = RingSpec::paper(8, 1.0);
     let mut topologies = Vec::new();
     for t in 0..4u64 {
-        let mut rng = dirca_sim::rng::stream_rng(dirca_sim::rng::derive_seed(SEED, 0xA11CE), t);
+        let mut rng = dirca_sim::rng::stream_rng(
+            dirca_sim::rng::derive_seed(SEED, dirca_net::salts::TOPOLOGY_STREAM_SALT),
+            t,
+        );
         topologies.push(spec.generate(&mut rng).expect("ring topology generation"));
     }
     let config = SimConfig::new(Scheme::DrtsDcts)
@@ -302,8 +305,10 @@ mod profile {
     /// installed and renders the `"event_profile"` report section.
     pub fn event_profile_section() -> String {
         let spec = RingSpec::paper(8, 1.0);
-        let mut rng =
-            dirca_sim::rng::stream_rng(dirca_sim::rng::derive_seed(super::SEED, 0xA11CE), 0);
+        let mut rng = dirca_sim::rng::stream_rng(
+            dirca_sim::rng::derive_seed(super::SEED, dirca_net::salts::TOPOLOGY_STREAM_SALT),
+            0,
+        );
         let topology = spec.generate(&mut rng).expect("ring topology generation");
         let config = SimConfig::new(Scheme::DrtsDcts)
             .with_beamwidth_degrees(30.0)

@@ -11,6 +11,7 @@
 use dirca_experiments::cli::Flags;
 use dirca_experiments::table::Table;
 use dirca_mac::Scheme;
+use dirca_net::salts::{RUN_STREAM_SALT, TOPOLOGY_STREAM_SALT};
 use dirca_net::{run, SimConfig};
 use dirca_sim::{rng::derive_seed, rng::stream_rng, SimDuration};
 use dirca_topology::RingSpec;
@@ -41,11 +42,11 @@ fn main() {
         let mut goodput = 0.0;
         for index in 0..topologies {
             let spec = RingSpec::paper(n, 1.0);
-            let mut topo_rng = stream_rng(derive_seed(seed, 0xA11CE), index as u64);
+            let mut topo_rng = stream_rng(derive_seed(seed, TOPOLOGY_STREAM_SALT), index as u64);
             let topology = spec.generate(&mut topo_rng).expect("topology generation");
             let config = SimConfig::new(scheme)
                 .with_beamwidth_degrees(theta)
-                .with_seed(derive_seed(seed, 0xB0B + index as u64))
+                .with_seed(derive_seed(seed, RUN_STREAM_SALT + index as u64))
                 .with_warmup(SimDuration::from_millis(200))
                 .with_measure(measure);
             let result = run(&topology, &config);

@@ -13,6 +13,7 @@ use crate::pool::parallel_indexed;
 use dirca_analysis::optimize::max_throughput;
 use dirca_analysis::{ModelInput, ProtocolTimes};
 use dirca_mac::Scheme;
+use dirca_net::salts::{MODEL_RUN_STREAM_SALT, MODEL_STREAM_SALT};
 use dirca_net::{run, SimConfig};
 use dirca_sim::{rng::derive_seed, rng::stream_rng, SimDuration};
 use dirca_stats::Summary;
@@ -67,14 +68,14 @@ fn simulate(
     threads: usize,
 ) -> Summary {
     let samples = parallel_indexed(fields, threads, |f| {
-        let mut rng = stream_rng(derive_seed(seed, 0xF1E1D + f as u64), 0);
+        let mut rng = stream_rng(derive_seed(seed, MODEL_STREAM_SALT + f as u64), 0);
         let topology = poisson_core(&mut rng, n_avg, 1.0, 3.0, 1.0);
         if topology.measured == 0 || topology.len() < 2 {
             return None; // an empty core contributes no sample
         }
         let config = SimConfig::new(scheme)
             .with_beamwidth_degrees(theta_deg)
-            .with_seed(derive_seed(seed, 0x51D + f as u64))
+            .with_seed(derive_seed(seed, MODEL_RUN_STREAM_SALT + f as u64))
             .with_warmup(SimDuration::from_millis(200))
             .with_measure(measure);
         let result = run(&topology, &config);

@@ -10,6 +10,7 @@
 use crate::pool::parallel_indexed_catch;
 
 use dirca_mac::Scheme;
+use dirca_net::salts::{RUN_STREAM_SALT, TOPOLOGY_STREAM_SALT};
 use dirca_net::{run, SimConfig, TrafficModel};
 use dirca_sim::{rng::derive_seed, rng::stream_rng, SimDuration};
 use dirca_stats::Summary;
@@ -76,11 +77,11 @@ pub fn run_sweep(scheme: Scheme, sweep: &LoadSweep, threads: usize) -> Vec<LoadP
 fn run_point(scheme: Scheme, sweep: &LoadSweep, rate: f64, threads: usize) -> LoadPoint {
     let samples = parallel_indexed_catch(sweep.topologies, threads, |t| {
         let spec = RingSpec::paper(sweep.n_avg, 1.0);
-        let mut topo_rng = stream_rng(derive_seed(sweep.seed, 0xA11CE), t as u64);
+        let mut topo_rng = stream_rng(derive_seed(sweep.seed, TOPOLOGY_STREAM_SALT), t as u64);
         let topology = spec.generate(&mut topo_rng).expect("topology generation");
         let config = SimConfig::new(scheme)
             .with_beamwidth_degrees(sweep.beamwidth_degrees)
-            .with_seed(derive_seed(sweep.seed, 0xB0B + t as u64))
+            .with_seed(derive_seed(sweep.seed, RUN_STREAM_SALT + t as u64))
             .with_traffic(TrafficModel::Poisson {
                 packets_per_sec: rate,
                 max_queue: 32,

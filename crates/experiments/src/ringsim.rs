@@ -11,6 +11,7 @@ use std::fmt;
 
 use crate::pool::parallel_indexed_catch;
 use dirca_mac::{MacConfig, Scheme};
+use dirca_net::salts::{RUN_STREAM_SALT, TOPOLOGY_STREAM_SALT};
 use dirca_net::{run, run_guarded, FaultPlan, RunAborted, RunResult, SimConfig, Watchdog};
 use dirca_radio::ReceptionMode;
 use dirca_sim::{rng::derive_seed, rng::stream_rng, SimDuration};
@@ -237,14 +238,17 @@ pub fn topology_config(
     index: usize,
 ) -> (dirca_topology::Topology, SimConfig) {
     let spec = RingSpec::paper(experiment.n_avg, 1.0);
-    let mut topo_rng = stream_rng(derive_seed(experiment.seed, 0xA11CE), index as u64);
+    let mut topo_rng = stream_rng(
+        derive_seed(experiment.seed, TOPOLOGY_STREAM_SALT),
+        index as u64,
+    );
     let topology = spec
         .generate(&mut topo_rng)
         .expect("degree-constrained topology generation failed");
     let mut config = SimConfig::new(experiment.scheme)
         .with_beamwidth_degrees(experiment.beamwidth_degrees)
         .with_reception(experiment.reception)
-        .with_seed(derive_seed(experiment.seed, 0xB0B + index as u64))
+        .with_seed(derive_seed(experiment.seed, RUN_STREAM_SALT + index as u64))
         .with_warmup(experiment.warmup)
         .with_measure(experiment.measure)
         .with_fault(experiment.fault.clone());

@@ -9,6 +9,7 @@
 use crate::pool::parallel_indexed;
 
 use dirca_mac::{MacConfig, Scheme};
+use dirca_net::salts::{RUN_STREAM_SALT, TOPOLOGY_STREAM_SALT};
 use dirca_net::{run, SimConfig};
 use dirca_sim::{rng::derive_seed, rng::stream_rng, SimDuration};
 use dirca_stats::Summary;
@@ -79,10 +80,10 @@ pub fn run_study(study: &ThresholdStudy, threads: usize) -> Vec<ThresholdRow> {
 fn run_mode(study: &ThresholdStudy, bytes: u32, basic: bool, threads: usize) -> (Summary, Summary) {
     let samples = parallel_indexed(study.topologies, threads, |t| {
         let spec = RingSpec::paper(study.n_avg, 1.0);
-        let mut topo_rng = stream_rng(derive_seed(study.seed, 0xA11CE), t as u64);
+        let mut topo_rng = stream_rng(derive_seed(study.seed, TOPOLOGY_STREAM_SALT), t as u64);
         let topology = spec.generate(&mut topo_rng).expect("topology generation");
         let mut config = SimConfig::new(Scheme::OrtsOcts)
-            .with_seed(derive_seed(study.seed, 0xB0B + t as u64))
+            .with_seed(derive_seed(study.seed, RUN_STREAM_SALT + t as u64))
             .with_data_bytes(bytes)
             .with_warmup(SimDuration::from_millis(200))
             .with_measure(study.measure);

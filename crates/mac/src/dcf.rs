@@ -308,7 +308,7 @@ impl DcfMac {
                 let slots = (past_ifs.as_nanos() / self.params.slot.as_nanos()) as u32;
                 self.backoff.consume(slots);
             }
-            self.timers[TimerKind::Backoff.index()].cancel();
+            self.timer_mut(TimerKind::Backoff).cancel();
         }
     }
 
@@ -374,16 +374,16 @@ impl DcfMac {
     /// live firing of that timer. Useful for hosts that want to prune
     /// cancelled timers instead of delivering them.
     pub fn is_timer_live(&self, kind: TimerKind, gen: TimerGeneration) -> bool {
-        self.timers[kind.index()].is_armed() && {
+        self.timer(kind).is_armed() && {
             // Probe without disarming: clone the slot.
-            let mut probe = self.timers[kind.index()].clone();
+            let mut probe = self.timer(kind).clone();
             probe.fires(gen)
         }
     }
 
     /// A scheduled timer fired. Stale generations are ignored.
     pub fn on_timer(&mut self, kind: TimerKind, gen: TimerGeneration, ctx: &mut impl MacContext) {
-        if !self.timers[kind.index()].fires(gen) {
+        if !self.timer_mut(kind).fires(gen) {
             return;
         }
         match kind {
@@ -426,7 +426,7 @@ impl DcfMac {
             return;
         }
         if self.nav.is_busy(now) {
-            let gen = self.timers[TimerKind::NavExpire.index()].arm();
+            let gen = self.timer_mut(TimerKind::NavExpire).arm();
             ctx.schedule_timer(TimerKind::NavExpire, gen, self.nav.until() - now);
             return;
         }
@@ -449,6 +449,8 @@ impl DcfMac {
         self.backoff_armed_at = None;
         self.backoff.complete();
         self.eifs_pending = false;
+        // panic-path: state-machine invariant — Contend is only entered
+        // with a packet in service (`current` set by enqueue/try_resume).
         let pkt = self
             .current
             .expect("backoff completed without a packet in service");
@@ -474,7 +476,7 @@ impl DcfMac {
     fn on_cts(&mut self, frame: Frame, ctx: &mut impl MacContext) {
         let expected_peer = self.current.map(|p| p.dst);
         if self.state == State::WaitCts && Some(frame.src) == expected_peer {
-            self.timers[TimerKind::CtsTimeout.index()].cancel();
+            self.timer_mut(TimerKind::CtsTimeout).cancel();
             self.short_retries = 0;
             self.state = State::SifsData;
             self.arm(ctx, TimerKind::Sifs, self.params.sifs);
@@ -485,7 +487,9 @@ impl DcfMac {
     fn on_ack(&mut self, frame: Frame, ctx: &mut impl MacContext) {
         let expected_peer = self.current.map(|p| p.dst);
         if self.state == State::WaitAck && Some(frame.src) == expected_peer {
-            self.timers[TimerKind::AckTimeout.index()].cancel();
+            self.timer_mut(TimerKind::AckTimeout).cancel();
+            // panic-path: state-machine invariant — WaitAck holds the packet
+            // whose DATA was just acknowledged.
             let pkt = self.current.take().expect("WaitAck without packet");
             self.counters.packets_acked += 1;
             self.counters.data_acked_bytes += u64::from(pkt.bytes);
@@ -526,6 +530,8 @@ impl DcfMac {
     }
 
     fn drop_current(&mut self, ctx: &mut impl MacContext) {
+        // panic-path: state-machine invariant — drop_current is only called
+        // from states that hold a packet in service.
         let pkt = self.current.take().expect("drop without packet");
         self.counters.packets_dropped += 1;
         self.backoff.on_success(); // window resets after a drop, per 802.11
@@ -547,7 +553,7 @@ impl DcfMac {
         }
         // Freeze contention (any running backoff was already frozen by the
         // busy edge of the RTS itself) and answer after SIFS.
-        self.timers[TimerKind::Backoff.index()].cancel();
+        self.timer_mut(TimerKind::Backoff).cancel();
         self.backoff_armed_at = None;
         self.state = State::SifsCts { rts: frame };
         self.arm(ctx, TimerKind::Sifs, self.params.sifs);
@@ -556,7 +562,7 @@ impl DcfMac {
     fn on_data(&mut self, frame: Frame, ctx: &mut impl MacContext) {
         match self.state {
             State::WaitData { peer } if peer == frame.src => {
-                self.timers[TimerKind::DataTimeout.index()].cancel();
+                self.timer_mut(TimerKind::DataTimeout).cancel();
                 self.deliver_unless_duplicate(&frame, ctx);
                 self.state = State::SifsAck { data: frame };
                 self.arm(ctx, TimerKind::Sifs, self.params.sifs);
@@ -565,7 +571,7 @@ impl DcfMac {
             // transmission. Answer with an ACK after SIFS if we are not
             // engaged in our own exchange.
             State::Idle | State::Contend => {
-                self.timers[TimerKind::Backoff.index()].cancel();
+                self.timer_mut(TimerKind::Backoff).cancel();
                 self.backoff_armed_at = None;
                 self.deliver_unless_duplicate(&frame, ctx);
                 self.state = State::SifsAck { data: frame };
@@ -603,6 +609,8 @@ impl DcfMac {
                 ctx.transmit(cts, self.scheme.is_directional(FrameKind::Cts));
             }
             State::SifsData => {
+                // panic-path: state-machine invariant — SifsData holds the
+                // packet whose CTS was just received.
                 let pkt = self.current.expect("SifsData without packet");
                 let data = Frame::data(pkt, &self.params);
                 self.counters.data_tx += 1;
@@ -628,8 +636,21 @@ impl DcfMac {
 
     // ------------------------------------------------------------------
 
+    /// The slot backing `kind`.
+    fn timer(&self, kind: TimerKind) -> &TimerSlot {
+        // panic-path: infallible — `TimerKind::index` maps the 6 variants to
+        // 0..COUNT, the exact length of the `timers` array.
+        &self.timers[kind.index()]
+    }
+
+    /// Mutable access to the slot backing `kind`.
+    fn timer_mut(&mut self, kind: TimerKind) -> &mut TimerSlot {
+        // panic-path: infallible — see `timer`.
+        &mut self.timers[kind.index()]
+    }
+
     fn arm(&mut self, ctx: &mut impl MacContext, kind: TimerKind, delay: SimDuration) {
-        let gen = self.timers[kind.index()].arm();
+        let gen = self.timer_mut(kind).arm();
         ctx.schedule_timer(kind, gen, delay);
     }
 }

@@ -37,6 +37,7 @@
 pub mod audit;
 mod config;
 mod result;
+pub mod salts;
 #[cfg(feature = "trace")]
 pub mod trace;
 mod world;

@@ -1,0 +1,99 @@
+//! The RNG stream-salt registry — the single place every stream salt in
+//! the workspace is defined.
+//!
+//! Independent random streams are derived as
+//! `dirca_sim::rng::derive_seed(master_seed, salt)`; two call sites that
+//! share a salt share a stream and silently correlate. Keeping every salt
+//! here, each bound to a documented `const`, makes pairwise uniqueness
+//! reviewable at a glance and lets `dirca-audit` enforce it mechanically
+//! (rule `DA005 salt-unique`: salts defined elsewhere, duplicate values,
+//! and raw literals at `derive_seed` call sites are all findings).
+//!
+//! Salts that index per-trial streams (`RUN_STREAM_SALT + trial`) reserve
+//! a *range*; keep new salts well clear of an existing base (trial counts
+//! stay far below `0x1_0000`, so spacing bases by at least that much is
+//! plenty).
+
+/// Fault-draw streams, one per receiving node, separated from every other
+/// per-node stream. Fault randomness must never touch the traffic/backoff
+/// streams: that isolation is what keeps a zero-fault plan byte-identical
+/// to a run with no plan at all, and lets fault plans change without
+/// perturbing the contention sequence more than the faults themselves do.
+pub const FAULT_STREAM_SALT: u64 = 0xFA17_1A11;
+
+/// Topology placement streams: node-position draws for randomized
+/// topologies, indexed per trial via the `stream_rng` stream argument.
+pub const TOPOLOGY_STREAM_SALT: u64 = 0xA11CE;
+
+/// Per-trial simulation master seeds: each trial `t` runs under
+/// `derive_seed(seed, RUN_STREAM_SALT + t)`, keeping trials independent
+/// of each other and of topology placement.
+pub const RUN_STREAM_SALT: u64 = 0xB0B;
+
+/// Analytic-model sampling streams for the model-vs-simulation
+/// comparison, indexed per traffic point.
+pub const MODEL_STREAM_SALT: u64 = 0xF1E1D;
+
+/// Simulation seeds for the model-vs-simulation comparison, indexed per
+/// traffic point; distinct from [`RUN_STREAM_SALT`] so the comparison
+/// never reuses a sweep trial's stream.
+pub const MODEL_RUN_STREAM_SALT: u64 = 0x51D;
+
+/// Every registered salt, for the pairwise-uniqueness test and for
+/// documentation tooling.
+pub const ALL_STREAM_SALTS: &[(&str, u64)] = &[
+    ("FAULT_STREAM_SALT", FAULT_STREAM_SALT),
+    ("TOPOLOGY_STREAM_SALT", TOPOLOGY_STREAM_SALT),
+    ("RUN_STREAM_SALT", RUN_STREAM_SALT),
+    ("MODEL_STREAM_SALT", MODEL_STREAM_SALT),
+    ("MODEL_RUN_STREAM_SALT", MODEL_RUN_STREAM_SALT),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn salts_are_pairwise_unique() {
+        for (i, (name_a, a)) in ALL_STREAM_SALTS.iter().enumerate() {
+            for (name_b, b) in &ALL_STREAM_SALTS[i + 1..] {
+                assert_ne!(
+                    a, b,
+                    "{name_a} and {name_b} share a value: correlated RNG streams"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registry_lists_every_const() {
+        // Guards against adding a const without registering it.
+        let names: Vec<&str> = ALL_STREAM_SALTS.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "FAULT_STREAM_SALT",
+                "TOPOLOGY_STREAM_SALT",
+                "RUN_STREAM_SALT",
+                "MODEL_STREAM_SALT",
+                "MODEL_RUN_STREAM_SALT",
+            ]
+        );
+    }
+
+    #[test]
+    fn indexed_bases_do_not_collide_within_range() {
+        // RUN/MODEL/MODEL_RUN are used as `BASE + index`; make sure the
+        // reserved ranges stay disjoint for realistic index counts.
+        let bases = [RUN_STREAM_SALT, MODEL_STREAM_SALT, MODEL_RUN_STREAM_SALT];
+        const RANGE: u64 = 1024;
+        for (i, a) in bases.iter().enumerate() {
+            for b in &bases[i + 1..] {
+                assert!(
+                    a.abs_diff(*b) >= RANGE,
+                    "indexed salt ranges overlap: {a:#x} vs {b:#x}"
+                );
+            }
+        }
+    }
+}

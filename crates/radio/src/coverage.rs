@@ -257,6 +257,9 @@ impl CoveragePlan {
 }
 
 /// Narrows an arena length to the 32-bit offset type.
+///
+/// panic-path: the arena holds at most n² coverage entries and topologies
+/// stay far below 2^16 nodes, so the length always fits in `u32`.
 fn arena_offset(len: usize) -> u32 {
     u32::try_from(len).expect("arena stays below u32::MAX entries")
 }

@@ -198,7 +198,7 @@ impl<W: World> Simulation<W> {
 
     /// Installs a runtime invariant auditor; it observes every event
     /// dispatched from now on and panics on the first violation.
-    #[cfg(feature = "audit")]
+    #[cfg(feature = "audit")] // audit-allow(gate-symmetry): signature needs the gated Auditor trait; callers gate themselves
     pub fn add_auditor(&mut self, auditor: Box<dyn crate::audit::Auditor<W>>) {
         self.auditors.push(auditor);
     }
@@ -213,15 +213,20 @@ impl<W: World> Simulation<W> {
         }
     }
 
+    /// No-op counterpart of `finish_audit` so call sites compile
+    /// identically with the `audit` feature off.
+    #[cfg(not(feature = "audit"))]
+    pub fn finish_audit(&mut self) {}
+
     /// Installs (or clears) the dispatch-loop probe; it observes every
     /// event dispatched from now on.
-    #[cfg(feature = "trace")]
+    #[cfg(feature = "trace")] // audit-allow(gate-symmetry): signature needs the gated Probe trait; callers gate themselves
     pub fn set_probe(&mut self, probe: Option<Box<dyn crate::probe::Probe<W>>>) {
         self.probe = probe;
     }
 
     /// Removes and returns the installed probe, if any.
-    #[cfg(feature = "trace")]
+    #[cfg(feature = "trace")] // audit-allow(gate-symmetry): signature needs the gated Probe trait; callers gate themselves
     pub fn take_probe(&mut self) -> Option<Box<dyn crate::probe::Probe<W>>> {
         self.probe.take()
     }
@@ -308,6 +313,8 @@ impl<W: World> Simulation<W> {
                     });
                 }
             }
+            // panic-path: a successful peek above guarantees the queue is
+            // non-empty, and nothing between the peek and this pop touches it.
             let (time, event) = self.scheduler.queue.pop().expect("peeked event vanished");
             debug_assert!(time >= self.scheduler.now, "event queue went backwards");
             self.dispatch(time, event);

@@ -140,6 +140,8 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        // panic-path: heap entries and slab slots are created and retired
+        // together, so a popped entry always references an occupied slot.
         let entry = self.heap.pop()?;
         let event = self
             .slab
