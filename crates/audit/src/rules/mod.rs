@@ -47,6 +47,7 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/sim/src/queue.rs",
     "crates/mac/src/dcf.rs",
     "crates/radio/src/coverage.rs",
+    "crates/radio/src/spatial.rs",
 ];
 
 /// The single source of truth for RNG stream salts (DA005): every

@@ -1,14 +1,21 @@
 //! `dirca-bench`: the pinned-seed performance harness.
 //!
 //! Runs the quick profile of the paper's Figs. 6/7 ring grid (every
-//! `(N, θ, scheme)` cell at 4 topologies each, master seed `0xD1CA`) plus
-//! two engine micro-benchmarks, and writes the measurements to
+//! `(N, θ, scheme)` cell at 4 topologies each, master seed `0xD1CA`),
+//! two engine micro-benchmarks, and a large-field scaling benchmark
+//! (pinned Poisson fields of 1k/10k/100k nodes exercising the uniform-grid
+//! coverage index), and writes the measurements to
 //! `BENCH_paper_grid.json` at the repository root:
 //!
 //! ```text
 //! cargo run --release -p dirca-bench            # default output path
 //! cargo run --release -p dirca-bench -- --out /tmp/bench.json --threads 4
+//! cargo run --release -p dirca-bench -- --scaling-max 100000   # full sweep
 //! ```
+//!
+//! `--scaling-max` caps the largest scaling field (default 10000; 0 skips
+//! the sweep entirely while keeping the empty `scaling` section in the
+//! report).
 //!
 //! The workload is deterministic — identical seeds, topologies, and event
 //! streams on every invocation — so run-to-run differences in the JSON are
@@ -21,23 +28,26 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
-use dirca_experiments::ringsim::{paper_grid, run_cell, RingExperiment};
+use dirca_experiments::ringsim::{paper_grid, run_cell, topology_config, RingExperiment};
 use dirca_mac::Scheme;
 use dirca_net::{run, SimConfig};
+use dirca_radio::{Channel, CoveragePlan};
+use dirca_sim::rng::derive_seed;
 use dirca_sim::{EventQueue, SimDuration, SimTime};
-use dirca_topology::RingSpec;
+use dirca_topology::{poisson_field_pinned, RingSpec};
 
 /// Master seed shared with the `paper_grid` experiment binary.
 const SEED: u64 = 0xD1CA;
 
 fn main() {
-    let (out_path, threads) = parse_args();
+    let (out_path, threads, scaling_max) = parse_args();
     let mut cells = Vec::new();
 
     eprintln!("dirca-bench: quick paper grid, {threads} threads, seed {SEED:#x}");
     let grid_start = Instant::now();
     for (n_avg, theta, scheme) in paper_grid() {
         let experiment = RingExperiment::quick(scheme, n_avg, theta);
+        let plan = plan_metrics(&experiment);
         let cell_start = Instant::now();
         let outcome = run_cell(&experiment, threads);
         let wall_ms = cell_start.elapsed().as_secs_f64() * 1e3;
@@ -48,6 +58,8 @@ fn main() {
             theta,
             wall_ms,
             throughput_mean: outcome.throughput.mean().unwrap_or(0.0),
+            plan_build_ms: plan.build_ms,
+            plan_arena_bytes: plan.arena_bytes,
         });
     }
     let grid_wall_ms = grid_start.elapsed().as_secs_f64() * 1e3;
@@ -59,6 +71,8 @@ fn main() {
         engine.events_per_sec / 1e6,
         engine.ns_per_transmit
     );
+
+    let scaling = scaling_bench(scaling_max);
 
     #[cfg(feature = "trace")]
     let extra_sections = {
@@ -74,17 +88,20 @@ fn main() {
         &cells,
         &engine,
         queue_ns,
+        &scaling,
         &extra_sections,
     );
     std::fs::write(&out_path, json).expect("failed to write benchmark report");
     eprintln!("dirca-bench: wrote {out_path}");
 }
 
-/// Parses `--out <path>` and `--threads <n>` (both optional).
-fn parse_args() -> (String, usize) {
+/// Parses `--out <path>`, `--threads <n>`, and `--scaling-max <nodes>`
+/// (all optional).
+fn parse_args() -> (String, usize, usize) {
     let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_paper_grid.json");
     let mut out = default_out.to_string();
     let mut threads = 2usize;
+    let mut scaling_max = 10_000usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -97,11 +114,19 @@ fn parse_args() -> (String, usize) {
                     .and_then(|v| v.parse().ok())
                     .expect("--threads requires a positive integer");
             }
-            other => panic!("unrecognized flag {other:?} (expected --out or --threads)"),
+            "--scaling-max" => {
+                scaling_max = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scaling-max requires a non-negative integer");
+            }
+            other => {
+                panic!("unrecognized flag {other:?} (expected --out, --threads, or --scaling-max)")
+            }
         }
     }
     assert!(threads > 0, "--threads requires a positive integer");
-    (out, threads)
+    (out, threads, scaling_max)
 }
 
 /// One measured grid cell.
@@ -111,6 +136,123 @@ struct CellRow {
     theta: f64,
     wall_ms: f64,
     throughput_mean: f64,
+    plan_build_ms: f64,
+    plan_arena_bytes: usize,
+}
+
+/// Coverage-plan construction cost for one grid cell's first topology.
+struct PlanMetrics {
+    build_ms: f64,
+    arena_bytes: usize,
+}
+
+/// Times `CoveragePlan` construction on topology 0 of the cell — the
+/// plan-build cost the steady-state throughput numbers never showed.
+fn plan_metrics(experiment: &RingExperiment) -> PlanMetrics {
+    let (topology, config) = topology_config(experiment, 0);
+    let channel = Channel::new(
+        topology.positions.clone(),
+        topology.range,
+        config.params.propagation_delay,
+    )
+    .expect("ring topology range is valid");
+    let start = Instant::now();
+    let plan = CoveragePlan::new(&channel, config.beamwidth);
+    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+    PlanMetrics {
+        build_ms,
+        arena_bytes: black_box(plan).index_bytes(),
+    }
+}
+
+/// One row of the large-field scaling benchmark.
+struct ScalingRow {
+    nodes: usize,
+    plan_build_ms: f64,
+    plan_index_bytes: usize,
+    dense_plan_bytes: u64,
+    sim_wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+}
+
+/// Runs pinned Poisson fields of increasing size (up to `scaling_max`
+/// nodes) through plan construction and a short DRTS/DCTS simulation.
+///
+/// Field sizes and simulation windows are pinned; only wall-clock varies
+/// between runs. `dense_plan_bytes` is what the pre-grid dense plan would
+/// have allocated (two f64 and one `(u32, u32)` matrix: 24 bytes per node
+/// pair) for the sub-quadratic comparison the report commits.
+fn scaling_bench(scaling_max: usize) -> Vec<ScalingRow> {
+    // (nodes, warmup, measure): windows shrink as fields grow so the
+    // sweep stays minutes-bounded while still processing millions of
+    // events per row.
+    let profiles: [(usize, SimDuration, SimDuration); 3] = [
+        (
+            1_000,
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(100),
+        ),
+        (
+            10_000,
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(25),
+        ),
+        (
+            100_000,
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(5),
+        ),
+    ];
+    let scaling_master = derive_seed(SEED, dirca_net::salts::SCALING_STREAM_SALT);
+    let mut rows = Vec::new();
+    for (nodes, warmup, measure) in profiles {
+        if nodes > scaling_max {
+            continue;
+        }
+        // Mean degree 8 at range 1 — the paper's densest ring setting,
+        // held constant across scales so only n varies.
+        let topology =
+            poisson_field_pinned(derive_seed(scaling_master, nodes as u64), nodes, 8.0, 1.0);
+        let config = SimConfig::new(Scheme::DrtsDcts)
+            .with_beamwidth_degrees(30.0)
+            .with_seed(derive_seed(scaling_master, nodes as u64 + 1))
+            .with_warmup(warmup)
+            .with_measure(measure);
+
+        let channel = Channel::new(
+            topology.positions.clone(),
+            topology.range,
+            config.params.propagation_delay,
+        )
+        .expect("field range is valid");
+        let start = Instant::now();
+        let plan = CoveragePlan::new(&channel, config.beamwidth);
+        let plan_build_ms = start.elapsed().as_secs_f64() * 1e3;
+        let plan_index_bytes = black_box(plan).index_bytes();
+
+        let start = Instant::now();
+        let result = run(&topology, &config);
+        let sim_wall = start.elapsed();
+        let events = result.events_processed();
+        let events_per_sec = events as f64 / sim_wall.as_secs_f64();
+        eprintln!(
+            "  scaling n={nodes}: plan {plan_build_ms:.1} ms / {:.1} MB, sim {:.0} ms, {:.2} Mev/s",
+            plan_index_bytes as f64 / 1e6,
+            sim_wall.as_secs_f64() * 1e3,
+            events_per_sec / 1e6,
+        );
+        rows.push(ScalingRow {
+            nodes,
+            plan_build_ms,
+            plan_index_bytes,
+            dense_plan_bytes: 24 * (nodes as u64) * (nodes as u64),
+            sim_wall_ms: sim_wall.as_secs_f64() * 1e3,
+            events,
+            events_per_sec,
+        });
+    }
+    rows
 }
 
 /// End-to-end engine throughput on one pinned quick-profile workload.
@@ -191,11 +333,12 @@ fn render_json(
     cells: &[CellRow],
     engine: &EngineBench,
     queue_ns: f64,
+    scaling: &[ScalingRow],
     extra_sections: &[String],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"dirca-bench/paper-grid/v1\",\n");
+    s.push_str("  \"schema\": \"dirca-bench/paper-grid/v2\",\n");
     s.push_str("  \"profile\": \"quick\",\n");
     let _ = writeln!(s, "  \"seed\": {SEED},");
     let _ = writeln!(s, "  \"threads\": {threads},");
@@ -206,8 +349,15 @@ fn render_json(
         let _ = writeln!(
             s,
             "    {{\"scheme\": \"{:?}\", \"n_avg\": {}, \"theta_deg\": {:.1}, \
-             \"wall_ms\": {:.1}, \"throughput_mean\": {:.6}}}{comma}",
-            c.scheme, c.n_avg, c.theta, c.wall_ms, c.throughput_mean
+             \"wall_ms\": {:.1}, \"throughput_mean\": {:.6}, \
+             \"plan_build_ms\": {:.3}, \"plan_arena_bytes\": {}}}{comma}",
+            c.scheme,
+            c.n_avg,
+            c.theta,
+            c.wall_ms,
+            c.throughput_mean,
+            c.plan_build_ms,
+            c.plan_arena_bytes
         );
     }
     s.push_str("  ],\n");
@@ -222,6 +372,25 @@ fn render_json(
     let _ = writeln!(s, "    \"events_per_sec\": {:.0},", engine.events_per_sec);
     let _ = writeln!(s, "    \"ns_per_transmit\": {:.1}", engine.ns_per_transmit);
     s.push_str("  },\n");
+    s.push_str("  \"scaling\": [\n");
+    for (i, r) in scaling.iter().enumerate() {
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"nodes\": {}, \"plan_build_ms\": {:.1}, \
+             \"plan_index_bytes\": {}, \"dense_plan_bytes\": {}, \
+             \"sim_wall_ms\": {:.1}, \"events\": {}, \
+             \"events_per_sec\": {:.0}}}{comma}",
+            r.nodes,
+            r.plan_build_ms,
+            r.plan_index_bytes,
+            r.dense_plan_bytes,
+            r.sim_wall_ms,
+            r.events,
+            r.events_per_sec
+        );
+    }
+    s.push_str("  ],\n");
     let tail = if extra_sections.is_empty() { "" } else { "," };
     let _ = writeln!(s, "  \"event_queue_ns_per_cycle\": {queue_ns:.1}{tail}");
     for (i, section) in extra_sections.iter().enumerate() {

@@ -39,6 +39,12 @@ pub const MODEL_STREAM_SALT: u64 = 0xF1E1D;
 /// never reuses a sweep trial's stream.
 pub const MODEL_RUN_STREAM_SALT: u64 = 0x51D;
 
+/// Scaling-benchmark streams: Poisson-field placement and run seeds for
+/// the 1k–100k-node grid benchmarks, indexed per field size via a second
+/// `derive_seed(·, nodes)` step. Separate from [`TOPOLOGY_STREAM_SALT`]
+/// so scaling fields never correlate with the paper-grid ring draws.
+pub const SCALING_STREAM_SALT: u64 = 0x5CA_11E;
+
 /// Every registered salt, for the pairwise-uniqueness test and for
 /// documentation tooling.
 pub const ALL_STREAM_SALTS: &[(&str, u64)] = &[
@@ -47,6 +53,7 @@ pub const ALL_STREAM_SALTS: &[(&str, u64)] = &[
     ("RUN_STREAM_SALT", RUN_STREAM_SALT),
     ("MODEL_STREAM_SALT", MODEL_STREAM_SALT),
     ("MODEL_RUN_STREAM_SALT", MODEL_RUN_STREAM_SALT),
+    ("SCALING_STREAM_SALT", SCALING_STREAM_SALT),
 ];
 
 #[cfg(test)]
@@ -77,6 +84,7 @@ mod tests {
                 "RUN_STREAM_SALT",
                 "MODEL_STREAM_SALT",
                 "MODEL_RUN_STREAM_SALT",
+                "SCALING_STREAM_SALT",
             ]
         );
     }

@@ -3,11 +3,8 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use dirca_geometry::Beamwidth;
 use dirca_mac::{DataPacket, DcfMac, Dot11Params, Frame, FrameKind, MacContext, TimerKind};
-use dirca_radio::{
-    Channel, CompiledFaults, CoveragePlan, NodeId, SignalId, Transceiver, TxPattern,
-};
+use dirca_radio::{Channel, CompiledFaults, CoveragePlan, NodeId, SignalId, Transceiver};
 use dirca_sim::{
     rng::{derive_seed, stream_rng},
     Scheduler, SimTime, TimerGeneration, World,
@@ -197,7 +194,6 @@ pub struct NetWorld {
     app: Vec<AppStats>,
     neighbors: Vec<Vec<usize>>,
     params: Dot11Params,
-    beamwidth: Beamwidth,
     data_bytes: u32,
     traffic: TrafficModel,
     record_delays: bool,
@@ -248,7 +244,18 @@ impl NetWorld {
         let phys = (0..n).map(|_| Transceiver::new(config.reception)).collect();
         let rngs = (0..n).map(|i| stream_rng(config.seed, i as u64)).collect();
         let plan = CoveragePlan::new(&channel, config.beamwidth);
-        let neighbors = topology.adjacency();
+        // Traffic adjacency via the plan's grid (O(n · density)), replacing
+        // the O(n²) `Topology::adjacency` scan; the strict `d² ≤ R²`
+        // predicate and ascending order are preserved bit for bit.
+        let neighbors = {
+            let mut adj = Vec::with_capacity(n);
+            let mut row: Vec<NodeId> = Vec::new();
+            for i in 0..n {
+                plan.adjacency_into(NodeId(i), &mut row);
+                adj.push(row.iter().map(|id| id.0).collect());
+            }
+            adj
+        };
         // Expected steady-state event population: per handshake a node puts
         // 4 frames on the air, each costing one TxEnd plus one batched
         // WaveStart/WaveEnd pair, with roughly one armed MAC timer per node
@@ -281,7 +288,6 @@ impl NetWorld {
             app: vec![AppStats::default(); n],
             neighbors,
             params: config.params.clone(),
-            beamwidth: config.beamwidth,
             data_bytes: config.data_bytes,
             traffic: config.traffic,
             record_delays: config.record_delays,
@@ -583,11 +589,10 @@ impl NetWorld {
     /// Fills `out` with the receivers covered by a transmission from `src`
     /// (aimed at `aim` when `directional`), in ascending id order.
     ///
-    /// The precomputed plan answers every aim inside the transmitter's
-    /// neighbourhood without trigonometry or allocation beyond the copy
-    /// into `out`; a scripted aim at an out-of-range peer has no
-    /// precomputed footprint and falls back to the reference
-    /// implementation.
+    /// The grid-backed plan answers every aim — in range or not — with an
+    /// O(deg) sector filter of the transmitter's neighbour slice; no
+    /// trigonometry beyond the boresight and no allocation beyond `out`'s
+    /// capacity.
     fn fill_wave_targets(
         &self,
         src: NodeId,
@@ -595,25 +600,11 @@ impl NetWorld {
         directional: bool,
         out: &mut Vec<NodeId>,
     ) {
-        // panic-path: `src`/`aim` come from built frames whose node ids the
-        // channel knows, so position/coverage lookups cannot fail (the pub
-        // `wave_targets` wrapper documents the out-of-range panic).
-        out.clear();
         if !directional {
+            out.clear();
             out.extend_from_slice(self.plan.neighbors(src));
-        } else if let Some(slice) = self.plan.directional_coverage(src, aim) {
-            out.extend_from_slice(slice);
         } else {
-            let from = self
-                .channel
-                .position(src)
-                .expect("transmitter position must exist");
-            let to = self.channel.position(aim).expect("aim position must exist");
-            let covered = self
-                .channel
-                .covered_by(src, TxPattern::aimed(from, to, self.beamwidth))
-                .expect("transmitter id must be valid");
-            out.extend_from_slice(&covered);
+            self.plan.directional_coverage_into(src, aim, out);
         }
     }
 }
@@ -644,8 +635,7 @@ impl World for NetWorld {
                 let mut wave = std::mem::take(&mut self.scratch);
                 self.fill_wave_targets(src, frame.dst, directional, &mut wave);
                 for &dst in &wave {
-                    let heading = self.plan.heading(dst, src);
-                    let distance = self.plan.distance(dst, src);
+                    let (heading, distance) = self.plan.arrival_geometry(dst, src);
                     let became_busy =
                         self.phys[dst.0].signal_arrives_at(id, heading, distance, end);
                     if became_busy {

@@ -144,6 +144,12 @@ impl Channel {
         self.propagation_delay
     }
 
+    /// All node positions, indexed by id (`positions()[id.0]` is node
+    /// `id`'s location).
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
     /// Position of node `id`.
     ///
     /// # Errors

@@ -1,36 +1,49 @@
-//! Precomputed coverage plans for static geometry.
+//! Grid-backed coverage plans for static geometry.
 //!
 //! Node positions, the range `R`, and the beamwidth θ are immutable for
 //! the lifetime of a simulation run, yet the per-frame transmit path asks
 //! the same spatial questions — who does this beam cover, and from which
-//! bearing does the energy arrive — millions of times. A [`CoveragePlan`]
-//! answers them from tables built once at world-construction time:
+//! bearing does the energy arrive — millions of times. The original plan
+//! answered them from dense pairwise matrices: perfect at the paper's
+//! 30–130 nodes, fatal at 100k (10¹⁰ entries). A [`CoveragePlan`] now
+//! rests on a [`SpatialGrid`] (cell edge ≥ the coverage reach), so both
+//! construction and queries touch only the 3×3 cell neighbourhood of the
+//! transmitter:
 //!
-//! * the pairwise **distance and heading matrices**,
-//! * per-node **omni neighbour lists**, and
-//! * per-(src, aimed-at dst) **directional coverage sets** — fully
-//!   determined once the beamwidth is fixed, because an aimed beam's
-//!   boresight is the src→dst heading.
+//! * **Omni neighbour lists** are materialised once per node from the
+//!   grid's candidate superset — O(n · local density) build, O(n) total
+//!   memory — and served as borrowed id-sorted slices, allocation-free.
+//! * **Directional footprints** are precomputed per *edge* (per omni
+//!   arena slot), not per node pair: a beam shares the omni disk's exact
+//!   distance bound (`Sector::contains` and `TxPattern::covers` both test
+//!   `d² ≤ R² + EPSILON`), so every aimable footprint is a filter of the
+//!   transmitter's omni slice, and the footprint table costs
+//!   O(Σ deg²) — linear in n at fixed density — instead of the old n²
+//!   range matrix. Lookup is a binary search of the id-sorted neighbour
+//!   slice. Aims at out-of-neighbourhood destinations (which a MAC never
+//!   produces) are filtered on the fly with the same predicate.
+//! * **Distance and arrival heading** are likewise cached per edge with
+//!   the *same expressions* the reference [`Channel`] evaluates, so
+//!   results are bit-identical to the old cached matrices without the
+//!   O(n²) storage; arbitrary-pair queries compute on demand.
 //!
-//! All coverage sets live as id-sorted slices in one shared arena, so a
-//! lookup is two index reads and returns a borrowed `&[NodeId]`: the hot
-//! path performs no trigonometry and no heap allocation. Every set is
-//! computed *by* the reference implementation ([`Channel::covered_by`] /
-//! [`Channel::heading`] / [`Channel::distance`]), so plan lookups are
-//! equal to reference queries by construction; the property tests in
-//! `tests/coverage_plan.rs` pin that equivalence across random topologies
-//! and beamwidths.
+//! Every query is equal to its reference implementation
+//! ([`Channel::covered_by`] / [`Channel::heading`] /
+//! [`Channel::distance`]) by construction: the grid only ever *widens*
+//! the candidate superset, the filters are the exact reference
+//! predicates, and every emitted slice is ascending by id. The property
+//! tests in `tests/coverage_plan.rs` and `tests/spatial_grid.rs` pin that
+//! equivalence across random and adversarial topologies and beamwidths.
 
-use dirca_geometry::{Angle, Beamwidth};
+use dirca_geometry::{Angle, Beamwidth, EPSILON};
 
 use crate::channel::{Channel, TxPattern};
+use crate::spatial::SpatialGrid;
 use crate::NodeId;
 
-/// Sentinel arena offset marking a (src, dst) pair with no precomputed
-/// directional set (dst outside src's omni neighbourhood).
-const NO_SLICE: u32 = u32::MAX;
-
-/// Precomputed spatial tables for one immutable [`Channel`] + beamwidth.
+/// Precomputed spatial tables for one immutable [`Channel`] + beamwidth,
+/// backed by a uniform-grid index — O(n) memory, O(local density) per
+/// query.
 ///
 /// # Example
 ///
@@ -55,44 +68,44 @@ const NO_SLICE: u32 = u32::MAX;
 ///     beam,
 /// );
 /// assert_eq!(
-///     plan.directional_coverage(NodeId(0), NodeId(1)).unwrap(),
-///     chan.covered_by(NodeId(0), aimed)?.as_slice(),
+///     plan.directional_coverage(NodeId(0), NodeId(1)),
+///     chan.covered_by(NodeId(0), aimed)?,
 /// );
 /// # Ok::<(), dirca_radio::ChannelError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct CoveragePlan {
-    n: usize,
+    /// Node positions, identical to the channel's (`positions[id]`).
+    positions: Vec<dirca_geometry::Point>,
+    /// The channel's transmission range `R`.
+    range: f64,
     beamwidth: Beamwidth,
-    /// Row-major `n × n` distance matrix (`dist[a·n + b]` = |a − b|).
-    dist: Vec<f64>,
-    /// Row-major `n × n` heading matrix (`heading[a·n + b]` = bearing
-    /// a → b).
-    heading: Vec<Angle>,
+    /// Uniform grid over `positions` with cell edge ≥ the coverage reach.
+    grid: SpatialGrid,
     /// `n + 1` arena offsets delimiting each node's omni neighbour slice.
     omni_offsets: Vec<u32>,
-    /// Row-major `n × n` arena ranges of the directional coverage sets;
-    /// `(NO_SLICE, NO_SLICE)` where none was precomputed.
-    dir_ranges: Vec<(u32, u32)>,
-    /// The shared slice arena: omni neighbour lists first, directional
-    /// coverage sets after (both in ascending id order).
+    /// The shared slice arena: omni neighbour lists first (ascending id
+    /// order within each slice), directional footprints appended after.
     arena: Vec<NodeId>,
+    /// Per-edge distance cache: `edge_dist[slot]` is the distance between
+    /// a slice's owner and `arena[slot]`, for every omni arena slot.
+    edge_dist: Vec<f64>,
+    /// Per-edge arrival-bearing cache: `edge_heading[slot]` is the
+    /// heading from a slice's owner *toward* `arena[slot]`.
+    edge_heading: Vec<Angle>,
+    /// Per-edge directional footprint ranges into `arena` for the aim
+    /// (owner → `arena[slot]`); aliases the owner's omni slice when the
+    /// beam covers the whole neighbourhood.
+    dir_ranges: Vec<(u32, u32)>,
 }
 
 impl CoveragePlan {
     /// Builds the plan for `channel` with directional sets computed at
     /// `beamwidth`.
     ///
-    /// Directional sets are precomputed for every (src, dst) pair where
-    /// `dst` lies in src's omni neighbourhood — the only aims a MAC can
-    /// produce, since frames address reachable peers. Aims at out-of-range
-    /// destinations fall back to `None` from
-    /// [`CoveragePlan::directional_coverage`] and the caller re-derives the
-    /// footprint through the reference path.
-    ///
-    /// Cost: O(n²) trig for the matrices plus O(Σ deg(src) · n) sector
-    /// tests for the directional sets — paid once per run, never on the
-    /// per-frame path.
+    /// Cost: O(n · local density) time for the grid and omni lists plus
+    /// O(Σ deg²) sector tests for the per-edge directional footprints —
+    /// linear in n at fixed density, never pairwise-quadratic.
     ///
     /// # Panics
     ///
@@ -104,46 +117,63 @@ impl CoveragePlan {
             (n as u64) < u64::from(u32::MAX),
             "coverage plan supports fewer than u32::MAX nodes"
         );
-        let mut dist = Vec::with_capacity(n * n);
-        let mut heading = Vec::with_capacity(n * n);
-        for a in 0..n {
-            for b in 0..n {
-                let (a, b) = (NodeId(a), NodeId(b));
-                dist.push(channel.distance(a, b).expect("node ids are in range"));
-                heading.push(channel.heading(a, b).expect("node ids are in range"));
-            }
-        }
+        let positions = channel.positions().to_vec();
+        let range = channel.range();
+        // The widest distance any coverage predicate accepts is
+        // √(R² + EPSILON); the extra 1e-9 relative margin dwarfs the ulp
+        // error of the grid's float cell arithmetic, so the 3×3 block is a
+        // guaranteed superset of every acceptable candidate.
+        let reach = (range * range + EPSILON).sqrt() * (1.0 + 1e-9);
+        let grid = SpatialGrid::new(&positions, reach);
 
+        // Materialise each node's omni neighbourhood from the grid
+        // superset with the exact reference predicate, then sort: equal to
+        // `Channel::covered_by(src, Omni)` output by construction (same
+        // membership, and the reference emits ascending ids).
         let mut arena: Vec<NodeId> = Vec::new();
         let mut omni_offsets = Vec::with_capacity(n + 1);
         omni_offsets.push(0u32);
+        let mut scratch: Vec<NodeId> = Vec::new();
         for src in 0..n {
-            let covered = channel
-                .covered_by(NodeId(src), TxPattern::Omni)
-                .expect("node ids are in range");
-            arena.extend_from_slice(&covered);
+            // panic-path: `src` iterates `0..n` over the same positions
+            // vector, so indexing cannot fail.
+            let origin = positions[src];
+            scratch.clear();
+            grid.for_each_candidate(origin, |id| {
+                if id.0 != src && TxPattern::Omni.covers(origin, range, positions[id.0]) {
+                    scratch.push(id);
+                }
+            });
+            scratch.sort_unstable();
+            arena.extend_from_slice(&scratch);
             omni_offsets.push(arena_offset(arena.len()));
         }
+        let edges = arena.len();
 
-        // Directional footprints. A beam shares the omni disk's exact
-        // distance bound (`Sector::contains` and `TxPattern::covers` both
-        // test `d² ≤ R² + EPSILON`), so its coverage is a subset of the
-        // transmitter's omni neighbourhood: filtering the neighbour slice
+        // Per-edge caches, indexed by omni arena slot: the distance and
+        // arrival bearing between a slice's owner and the neighbour in
+        // that slot (the exact reference expressions, so values are
+        // bit-identical to `Channel::distance` / `Channel::heading`), and
+        // the directional footprint of the beam aimed owner → neighbour.
+        // A beam shares the omni disk's exact distance bound
+        // (`Sector::contains` and `TxPattern::covers` both test
+        // `d² ≤ R² + EPSILON`), so filtering the owner's omni slice
         // through the reference predicate yields exactly
-        // `Channel::covered_by` for the aimed pattern, at O(deg) instead of
-        // O(n) per aim.
-        let mut dir_ranges = vec![(NO_SLICE, NO_SLICE); n * n];
-        let range = channel.range();
+        // `Channel::covered_by` for the aimed pattern, ascending order
+        // preserved — and the table is O(Σ deg²), not O(n²).
+        let mut edge_dist = Vec::with_capacity(edges);
+        let mut edge_heading = Vec::with_capacity(edges);
+        let mut dir_ranges = vec![(0u32, 0u32); edges];
         for src in 0..n {
             let omni_range = (omni_offsets[src] as usize)..(omni_offsets[src + 1] as usize);
-            let origin = channel.position(NodeId(src)).expect("src id is in range");
+            // panic-path: `src` iterates `0..n`, matching `positions`.
+            let origin = positions[src];
             for slot in omni_range.clone() {
+                // panic-path: omni slots hold ids the plan indexed.
                 let dst = arena[slot];
-                let pattern = TxPattern::aimed(
-                    origin,
-                    channel.position(dst).expect("dst id is in range"),
-                    beamwidth,
-                );
+                edge_dist.push(origin.distance(positions[dst.0]));
+                edge_heading.push(origin.heading_to(positions[dst.0]));
+                let pattern = TxPattern::aimed(origin, positions[dst.0], beamwidth);
                 // Append the filtered footprint to the arena, then roll it
                 // back if the beam turned out to cover the whole
                 // neighbourhood (wide θ or a degenerate layout) — aliasing
@@ -151,12 +181,7 @@ impl CoveragePlan {
                 let start = arena.len();
                 for neighbor_slot in omni_range.clone() {
                     let p = arena[neighbor_slot];
-                    let covered = pattern.covers(
-                        origin,
-                        range,
-                        channel.position(p).expect("neighbour id is in range"),
-                    );
-                    if covered {
+                    if pattern.covers(origin, range, positions[p.0]) {
                         arena.push(p);
                     }
                 }
@@ -166,34 +191,42 @@ impl CoveragePlan {
                 } else {
                     (arena_offset(start), arena_offset(arena.len()))
                 };
-                dir_ranges[src * n + dst.0] = slice;
+                dir_ranges[slot] = slice;
             }
         }
 
         CoveragePlan {
-            n,
+            positions,
+            range,
             beamwidth,
-            dist,
-            heading,
+            grid,
             omni_offsets,
-            dir_ranges,
             arena,
+            edge_dist,
+            edge_heading,
+            dir_ranges,
         }
     }
 
     /// Number of nodes covered by the plan.
     pub fn len(&self) -> usize {
-        self.n
+        self.positions.len()
     }
 
     /// Whether the plan covers no nodes.
     pub fn is_empty(&self) -> bool {
-        self.n == 0
+        self.positions.is_empty()
     }
 
-    /// The beamwidth the directional sets were computed at.
+    /// The beamwidth the directional footprints are filtered at.
     pub fn beamwidth(&self) -> Beamwidth {
         self.beamwidth
+    }
+
+    /// The underlying spatial grid (sharding key for future
+    /// partitioned-execution work, and a diagnostic for tests).
+    pub fn grid(&self) -> &SpatialGrid {
+        &self.grid
     }
 
     /// Total arena entries (a size diagnostic for tests and tooling).
@@ -201,65 +234,187 @@ impl CoveragePlan {
         self.arena.len()
     }
 
-    /// Cached distance |a − b|, equal to [`Channel::distance`].
+    /// Approximate resident bytes of the whole plan: positions, the slice
+    /// arena + offsets, the per-edge caches, and the grid index. Grows
+    /// O(n + Σ deg²) — linear in n at fixed density, never O(n²).
+    pub fn index_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.positions.len() * std::mem::size_of::<dirca_geometry::Point>()
+            + self.omni_offsets.len() * std::mem::size_of::<u32>()
+            + self.arena.len() * std::mem::size_of::<NodeId>()
+            + self.edge_dist.len() * std::mem::size_of::<f64>()
+            + self.edge_heading.len() * std::mem::size_of::<Angle>()
+            + self.dir_ranges.len() * std::mem::size_of::<(u32, u32)>()
+            + self.grid.index_bytes()
+    }
+
+    /// Distance |a − b|, equal to [`Channel::distance`] bit for bit (same
+    /// expression over the same coordinates).
     ///
     /// # Panics
     ///
     /// Panics if either id is out of range.
     #[inline]
     pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
-        assert!(a.0 < self.n && b.0 < self.n, "node id out of range");
-        self.dist[a.0 * self.n + b.0]
+        assert!(
+            a.0 < self.positions.len() && b.0 < self.positions.len(),
+            "node id out of range"
+        );
+        self.positions[a.0].distance(self.positions[b.0])
     }
 
-    /// Cached bearing `from` → `to`, equal to [`Channel::heading`].
+    /// Bearing `from` → `to`, equal to [`Channel::heading`] bit for bit.
     ///
     /// # Panics
     ///
     /// Panics if either id is out of range.
     #[inline]
     pub fn heading(&self, from: NodeId, to: NodeId) -> Angle {
-        assert!(from.0 < self.n && to.0 < self.n, "node id out of range");
-        self.heading[from.0 * self.n + to.0]
+        assert!(
+            from.0 < self.positions.len() && to.0 < self.positions.len(),
+            "node id out of range"
+        );
+        self.positions[from.0].heading_to(self.positions[to.0])
     }
 
     /// The omni neighbourhood of `id` in ascending id order, equal to
-    /// [`Channel::neighbors`].
+    /// [`Channel::neighbors`]. Borrowed slice; no allocation.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
     #[inline]
     pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        // panic-path: offsets are monotone within the arena length by
+        // construction; an out-of-range id panics on the offset read,
+        // which is the documented contract.
         let start = self.omni_offsets[id.0] as usize;
         let end = self.omni_offsets[id.0 + 1] as usize;
         &self.arena[start..end]
     }
 
-    /// The footprint of a beam from `src` aimed at `dst` at the plan's
-    /// beamwidth, in ascending id order — equal to [`Channel::covered_by`]
-    /// with [`TxPattern::aimed`]. Returns `None` when `dst` is outside
-    /// src's omni neighbourhood (no aim was precomputed); callers fall
-    /// back to the reference query for those cold cases.
+    /// The omni arena slot of `needle` inside `owner`'s neighbour slice,
+    /// found by binary search (slices ascend by id).
+    ///
+    /// panic-path: callers pass an in-range `owner`, so the offset read is
+    /// within the n+1-length offsets vector.
+    #[inline]
+    fn edge_slot(&self, owner: NodeId, needle: NodeId) -> Option<usize> {
+        let start = self.omni_offsets[owner.0] as usize;
+        self.neighbors(owner)
+            .binary_search(&needle)
+            .ok()
+            .map(|i| start + i)
+    }
+
+    /// The bearing and distance of a signal arriving at `dst` from `src`,
+    /// as the pair `(heading dst → src, |dst − src|)` — bit-identical to
+    /// ([`Channel::heading`], [`Channel::distance`]).
+    ///
+    /// The hot path for wave delivery: when `src` is inside `dst`'s
+    /// neighbourhood (every physically arriving signal is, since beam and
+    /// omni share one distance bound and distance is symmetric) both
+    /// values come from the per-edge cache after one binary search; the
+    /// out-of-range fallback computes them with the same expressions.
     ///
     /// # Panics
     ///
     /// Panics if either id is out of range.
     #[inline]
-    pub fn directional_coverage(&self, src: NodeId, dst: NodeId) -> Option<&[NodeId]> {
-        assert!(src.0 < self.n && dst.0 < self.n, "node id out of range");
-        let (start, end) = self.dir_ranges[src.0 * self.n + dst.0];
-        if start == NO_SLICE {
-            return None;
+    pub fn arrival_geometry(&self, dst: NodeId, src: NodeId) -> (Angle, f64) {
+        match self.edge_slot(dst, src) {
+            // panic-path: per-edge caches are arena-slot-parallel by
+            // construction, so a found slot indexes all of them.
+            Some(slot) => (self.edge_heading[slot], self.edge_dist[slot]),
+            None => (self.heading(dst, src), self.distance(dst, src)),
         }
-        Some(&self.arena[start as usize..end as usize])
+    }
+
+    /// Fills `out` with the footprint of a beam from `src` aimed at `dst`
+    /// at the plan's beamwidth, in ascending id order — equal to
+    /// [`Channel::covered_by`] with [`TxPattern::aimed`] for **any** dst
+    /// (neighbour or not; a beam aimed at an unreachable peer still covers
+    /// whatever falls in its sector).
+    ///
+    /// Cost for the aims a MAC produces (dst inside src's neighbourhood):
+    /// one binary search plus a slice copy from the per-edge footprint
+    /// table. Cold aims at out-of-neighbourhood destinations filter the
+    /// omni slice on the fly with the same predicate — because the sector
+    /// shares the omni disk's exact distance bound, the footprint is a
+    /// subset of the omni neighbourhood and the filter preserves the
+    /// slice's ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[inline]
+    pub fn directional_coverage_into(&self, src: NodeId, dst: NodeId, out: &mut Vec<NodeId>) {
+        assert!(
+            src.0 < self.positions.len() && dst.0 < self.positions.len(),
+            "node id out of range"
+        );
+        out.clear();
+        if let Some(slot) = self.edge_slot(src, dst) {
+            // panic-path: stored ranges delimit arena slices built above.
+            let (start, end) = self.dir_ranges[slot];
+            out.extend_from_slice(&self.arena[start as usize..end as usize]);
+            return;
+        }
+        let origin = self.positions[src.0];
+        let pattern = TxPattern::aimed(origin, self.positions[dst.0], self.beamwidth);
+        for &p in self.neighbors(src) {
+            // panic-path: neighbour slices only hold ids the plan indexed.
+            if pattern.covers(origin, self.range, self.positions[p.0]) {
+                out.push(p);
+            }
+        }
+    }
+
+    /// Allocating convenience form of
+    /// [`CoveragePlan::directional_coverage_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn directional_coverage(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.directional_coverage_into(src, dst, &mut out);
+        out
+    }
+
+    /// Fills `out` with the nodes strictly within range of `id` under the
+    /// topology-layer adjacency predicate `d² ≤ R²` (**no** EPSILON slack),
+    /// ascending by id — bit-identical to one row of
+    /// `Topology::adjacency`.
+    ///
+    /// This is deliberately a *different* predicate from
+    /// [`CoveragePlan::neighbors`] (`d² ≤ R² + EPSILON`): traffic
+    /// generation has always drawn destinations from the strict set while
+    /// signal coverage uses the slack bound, and collapsing the two would
+    /// shift golden traces. The grid serves both since strict ⊆ slack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn adjacency_into(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        assert!(id.0 < self.positions.len(), "node id out of range");
+        out.clear();
+        let origin = self.positions[id.0];
+        let r2 = self.range * self.range;
+        self.grid.for_each_candidate(origin, |p| {
+            // panic-path: grid candidates are ids the plan indexed.
+            if p != id && origin.distance_squared(self.positions[p.0]) <= r2 {
+                out.push(p);
+            }
+        });
+        out.sort_unstable();
     }
 }
 
 /// Narrows an arena length to the 32-bit offset type.
 ///
-/// panic-path: the arena holds at most n² coverage entries and topologies
-/// stay far below 2^16 nodes, so the length always fits in `u32`.
+/// panic-path: the arena holds one entry per (node, neighbour) edge and
+/// the constructor caps n below `u32::MAX`, so the length always fits.
 fn arena_offset(len: usize) -> u32 {
     u32::try_from(len).expect("arena stays below u32::MAX entries")
 }
@@ -303,20 +458,22 @@ mod tests {
     }
 
     #[test]
-    fn directional_sets_match_reference_for_all_neighbor_aims() {
+    fn directional_sets_match_reference_for_all_aims() {
         let c = cross();
         for theta in [15.0, 90.0, 181.0, 360.0] {
             let plan = CoveragePlan::new(&c, beam(theta));
             for src in 0..c.len() {
-                for &dst in plan.neighbors(NodeId(src)) {
+                // Every aim — neighbour, isolated node, or self — must
+                // reproduce the reference footprint.
+                for dst in 0..c.len() {
                     let pattern = TxPattern::aimed(
                         c.position(NodeId(src)).unwrap(),
-                        c.position(dst).unwrap(),
+                        c.position(NodeId(dst)).unwrap(),
                         beam(theta),
                     );
                     assert_eq!(
-                        plan.directional_coverage(NodeId(src), dst).unwrap(),
-                        c.covered_by(NodeId(src), pattern).unwrap().as_slice(),
+                        plan.directional_coverage(NodeId(src), NodeId(dst)),
+                        c.covered_by(NodeId(src), pattern).unwrap(),
                         "θ={theta} {src}→{dst}"
                     );
                 }
@@ -344,34 +501,63 @@ mod tests {
     }
 
     #[test]
-    fn non_neighbor_aim_has_no_precomputed_slice() {
-        let c = cross();
-        let plan = CoveragePlan::new(&c, beam(30.0));
-        // Node 5 is isolated: no aim toward it is precomputed, and it
-        // precomputes no aims of its own.
-        assert_eq!(plan.directional_coverage(NodeId(0), NodeId(5)), None);
-        assert_eq!(plan.directional_coverage(NodeId(5), NodeId(0)), None);
-        // Self-aims are never precomputed either.
-        assert_eq!(plan.directional_coverage(NodeId(0), NodeId(0)), None);
-    }
-
-    #[test]
-    fn omni_beamwidth_aliases_the_neighbour_slice() {
+    fn omni_beamwidth_equals_the_neighbour_slice() {
         let c = cross();
         let plan = CoveragePlan::new(&c, Beamwidth::OMNI);
-        let narrow = CoveragePlan::new(&c, beam(30.0));
         for src in 0..c.len() {
             for &dst in plan.neighbors(NodeId(src)) {
                 assert_eq!(
-                    plan.directional_coverage(NodeId(src), dst).unwrap(),
+                    plan.directional_coverage(NodeId(src), dst),
                     plan.neighbors(NodeId(src)),
                     "360° beam must equal the omni footprint"
                 );
             }
         }
-        // Aliasing keeps the arena small: a 360° plan adds no directional
-        // entries beyond the omni lists, unlike a narrow-beam plan.
-        assert!(plan.arena_len() <= narrow.arena_len());
+    }
+
+    #[test]
+    fn adjacency_matches_strict_predicate() {
+        let c = cross();
+        let plan = CoveragePlan::new(&c, beam(30.0));
+        let mut out = Vec::new();
+        for i in 0..c.len() {
+            plan.adjacency_into(NodeId(i), &mut out);
+            // Brute-force strict oracle (the Topology::adjacency
+            // predicate: d² ≤ R², no EPSILON).
+            let oracle: Vec<NodeId> = (0..c.len())
+                .filter(|&j| {
+                    j != i
+                        && c.position(NodeId(i))
+                            .unwrap()
+                            .distance_squared(c.position(NodeId(j)).unwrap())
+                            <= 1.0
+                })
+                .map(NodeId)
+                .collect();
+            assert_eq!(out, oracle, "node {i}");
+        }
+    }
+
+    #[test]
+    fn plan_memory_is_subquadratic() {
+        // A constant-density field: plan bytes must grow ~linearly, far
+        // below the dense 24·n² matrices the old plan carried.
+        let make = |side: usize| {
+            let pts: Vec<Point> = (0..side * side)
+                .map(|i| Point::new((i % side) as f64 * 0.7, (i / side) as f64 * 0.7))
+                .collect();
+            let n = pts.len();
+            let plan = CoveragePlan::new(&chan(pts), beam(45.0));
+            (n, plan.index_bytes())
+        };
+        let (n_small, b_small) = make(10);
+        let (n_large, b_large) = make(30);
+        let growth = b_large as f64 / b_small as f64;
+        let quadratic = ((n_large * n_large) / (n_small * n_small)) as f64;
+        assert!(
+            growth < quadratic / 2.0,
+            "bytes grew {growth:.1}× for {quadratic:.0}× the pair count"
+        );
     }
 
     #[test]
@@ -390,6 +576,8 @@ mod tests {
         assert_eq!(plan.len(), 6);
         assert!(!plan.is_empty());
         assert!((plan.beamwidth().degrees() - 45.0).abs() < 1e-12);
+        assert!(!plan.grid().is_empty());
+        assert!(plan.index_bytes() > 0);
     }
 
     #[test]

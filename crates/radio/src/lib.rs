@@ -23,11 +23,14 @@
 //! wires it to the discrete-event loop.
 //!
 //! Because positions, range, and beamwidth are immutable for a run,
-//! [`CoveragePlan`] precomputes every spatial answer the per-frame hot
-//! path needs — distance/heading matrices, omni neighbour lists, and
-//! per-(src, dst) directional footprints — as borrowed slices with no
-//! per-query trigonometry or allocation. [`Channel::covered_by`] remains
-//! the reference implementation the plan is built from and tested against.
+//! [`CoveragePlan`] serves every spatial answer the per-frame hot path
+//! needs — omni neighbour lists as borrowed id-sorted slices, directional
+//! footprints as an O(deg) filter of them, distance/heading computed
+//! bit-identically to the reference — from a uniform-grid
+//! [`SpatialGrid`] index that costs O(n) memory and O(local density) per
+//! query, so 100k-node fields are as tractable as the paper's 130.
+//! [`Channel::covered_by`] remains the reference implementation the plan
+//! is built from and tested against.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -37,11 +40,13 @@
 mod channel;
 mod coverage;
 mod fault;
+mod spatial;
 mod transceiver;
 
 pub use channel::{Channel, ChannelError, TxPattern};
 pub use coverage::CoveragePlan;
 pub use fault::{CompiledFaults, FaultPlan, FaultPlanError, LinkFault, Outage};
+pub use spatial::SpatialGrid;
 pub use transceiver::{ReceptionMode, RxEndReport, SignalId, Transceiver};
 
 use std::fmt;

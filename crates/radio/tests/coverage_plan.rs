@@ -1,11 +1,12 @@
 //! Property tests pinning [`CoveragePlan`] to the reference channel
-//! queries it caches.
+//! queries it serves.
 //!
-//! The plan is *built by* the reference implementation, so these tests
-//! guard against the failure mode that matters: the lookup tables drifting
-//! from `Channel::covered_by` / `heading` / `distance` under a future
+//! The plan is grid-backed — candidates come from a 3×3 cell superset and
+//! are filtered by the reference predicates — so these tests guard
+//! against the failure mode that matters: the index drifting from
+//! `Channel::covered_by` / `heading` / `distance` under a future
 //! "optimisation" of the build. Every property is checked across random
-//! topologies and beamwidths, including the θ = 360° aliasing case and
+//! topologies and beamwidths, including the θ = 360° equivalence case and
 //! degenerate collinear layouts where sector membership sits on the
 //! boundary.
 
@@ -39,8 +40,8 @@ fn collinear_strategy() -> impl Strategy<Value = Vec<Point>> {
 fn beamwidth_strategy() -> impl Strategy<Value = Beamwidth> {
     prop_oneof![
         (1.0f64..360.0).prop_map(|d| Beamwidth::from_degrees(d).unwrap()),
-        // Weight the exact-360° aliasing path explicitly; a uniform draw
-        // essentially never lands on it.
+        // Weight the exact-360° equivalence path explicitly; a uniform
+        // draw essentially never lands on it.
         Just(Beamwidth::OMNI),
     ]
 }
@@ -54,8 +55,8 @@ fn assert_plan_matches_reference(chan: &Channel, beamwidth: Beamwidth) {
     let plan = CoveragePlan::new(chan, beamwidth);
     for a in 0..chan.len() {
         let a = NodeId(a);
-        // Distance and heading matrices: bit-for-bit, not approximately —
-        // the plan must be a cache, not a recomputation.
+        // Distance and heading: bit-for-bit, not approximately — the plan
+        // must evaluate the exact reference expressions.
         for b in 0..chan.len() {
             let b = NodeId(b);
             assert_eq!(
@@ -75,16 +76,18 @@ fn assert_plan_matches_reference(chan: &Channel, beamwidth: Beamwidth) {
             chan.covered_by(a, TxPattern::Omni).unwrap().as_slice(),
             "omni neighbourhood of {a}"
         );
-        // Directional sets for every precomputable aim.
-        for &dst in plan.neighbors(a) {
+        // Directional footprints for *every* aim — in-range neighbours,
+        // unreachable peers, and the self-aim degenerate case alike.
+        for dst in 0..chan.len() {
+            let dst = NodeId(dst);
             let pattern = TxPattern::aimed(
                 chan.position(a).unwrap(),
                 chan.position(dst).unwrap(),
                 beamwidth,
             );
             assert_eq!(
-                plan.directional_coverage(a, dst).unwrap(),
-                chan.covered_by(a, pattern).unwrap().as_slice(),
+                plan.directional_coverage(a, dst),
+                chan.covered_by(a, pattern).unwrap(),
                 "aim {a} → {dst} at θ = {}°",
                 beamwidth.degrees()
             );
@@ -118,7 +121,7 @@ proptest! {
 
     #[test]
     fn full_circle_beam_equals_omni_footprint(positions in positions_strategy()) {
-        // θ = 360° must alias the omni neighbourhood: a full-circle beam
+        // θ = 360° must equal the omni neighbourhood: a full-circle beam
         // and the omni pattern are the same physical footprint.
         let chan = channel(positions);
         let plan = CoveragePlan::new(&chan, Beamwidth::OMNI);
@@ -126,7 +129,7 @@ proptest! {
             let src = NodeId(src);
             for &dst in plan.neighbors(src) {
                 prop_assert_eq!(
-                    plan.directional_coverage(src, dst).unwrap(),
+                    plan.directional_coverage(src, dst),
                     plan.neighbors(src),
                     "360° aim {} → {} diverged from omni", src, dst
                 );
@@ -135,27 +138,30 @@ proptest! {
     }
 
     #[test]
-    fn non_neighbor_aims_have_no_slice(
+    fn strict_adjacency_matches_topology_predicate(
         positions in positions_strategy(),
-        beamwidth in beamwidth_strategy(),
     ) {
-        // The plan only precomputes aims a MAC can produce (reachable
-        // destinations); everything else reports `None` so callers take
-        // the reference fallback rather than reading a wrong slice.
+        // The traffic-layer adjacency query must reproduce the strict
+        // `d² ≤ R²` predicate (no EPSILON slack) in ascending order —
+        // the behavioural gate separating traffic neighbour draws from
+        // signal coverage.
         let chan = channel(positions);
-        let plan = CoveragePlan::new(&chan, beamwidth);
-        for src in 0..chan.len() {
-            let src = NodeId(src);
-            let neighbors = plan.neighbors(src);
-            for dst in 0..chan.len() {
-                let dst = NodeId(dst);
-                if !neighbors.contains(&dst) {
-                    prop_assert_eq!(
-                        plan.directional_coverage(src, dst), None,
-                        "unreachable aim {} → {} has a precomputed slice", src, dst
-                    );
-                }
-            }
+        let plan = CoveragePlan::new(&chan, Beamwidth::OMNI);
+        let mut out = Vec::new();
+        for i in 0..chan.len() {
+            plan.adjacency_into(NodeId(i), &mut out);
+            let oracle: Vec<NodeId> = (0..chan.len())
+                .filter(|&j| {
+                    j != i
+                        && chan
+                            .position(NodeId(i))
+                            .unwrap()
+                            .distance_squared(chan.position(NodeId(j)).unwrap())
+                            <= 1.0
+                })
+                .map(NodeId)
+                .collect();
+            prop_assert_eq!(&out, &oracle, "strict adjacency of node {}", i);
         }
     }
 }

@@ -116,6 +116,76 @@ pub fn poisson_disk<R: Rng + ?Sized>(rng: &mut R, n_avg: f64, range: f64, radius
     }
 }
 
+/// Generates an exactly-`nodes`-node uniform field sized so the expected
+/// neighbour count is `n_avg` — the streaming large-scale generator for
+/// the 1k–100k-node scaling benchmarks.
+///
+/// The disk radius is chosen as `range · √(nodes / n_avg)`, which makes
+/// the mean density `n_avg / (πR²)`: conditioning a Poisson process on
+/// its total count yields exactly this uniform (Binomial) field, so the
+/// layout is distributed as a [`poisson_disk`] draw given `nodes` points
+/// landed — with a deterministic size, which a pinned-scale benchmark
+/// needs.
+///
+/// **Behavioural gate:** generation streams node positions in O(n) and
+/// performs *no* pairwise connectivity or degree validation — at 100k
+/// nodes a single O(n²) acceptance scan costs 10¹⁰ distance tests,
+/// dwarfing generation itself. Callers needing degree guarantees (the
+/// paper-scale [`RingSpec`] generator keeps its acceptance loop) must
+/// check downstream; large-field consumers rely on the law of large
+/// numbers instead, which concentrates realised degrees tightly around
+/// `n_avg` at these scales.
+///
+/// All nodes are flagged as measured.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero or `n_avg`/`range` are non-positive or not
+/// finite.
+///
+/// # Example
+///
+/// ```
+/// use dirca_topology::poisson_field;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let topo = poisson_field(&mut rng, 1000, 8.0, 1.0);
+/// assert_eq!(topo.len(), 1000);
+/// ```
+pub fn poisson_field<R: Rng + ?Sized>(
+    rng: &mut R,
+    nodes: usize,
+    n_avg: f64,
+    range: f64,
+) -> Topology {
+    assert!(nodes > 0, "node count must be positive");
+    assert!(n_avg > 0.0 && n_avg.is_finite(), "n_avg must be positive");
+    assert!(range > 0.0 && range.is_finite(), "range must be positive");
+    let radius = range * (nodes as f64 / n_avg).sqrt();
+    let positions: Vec<Point> = (0..nodes)
+        .map(|_| sample::uniform_in_disk(rng, Point::ORIGIN, radius))
+        .collect();
+    Topology {
+        positions,
+        range,
+        measured: nodes,
+    }
+}
+
+/// [`poisson_field`] on a dedicated RNG seeded with `seed` — the pinned
+/// path scaling benchmarks use so a field is a pure function of
+/// `(seed, nodes, n_avg, range)`.
+///
+/// # Panics
+///
+/// Panics on the same invalid arguments as [`poisson_field`].
+pub fn poisson_field_pinned(seed: u64, nodes: usize, n_avg: f64, range: f64) -> Topology {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    poisson_field(&mut rng, nodes, n_avg, range)
+}
+
 /// Samples a Poisson field on a disk of radius `radius` (like
 /// [`poisson_disk`]) but marks only the nodes within `core_radius` of the
 /// center as measured — the boundary-free measurement setup matching the
@@ -257,5 +327,48 @@ mod tests {
     fn poisson_disk_validates() {
         let mut rng = SmallRng::seed_from_u64(0);
         let _ = poisson_disk(&mut rng, 0.0, 1.0, 3.0);
+    }
+
+    #[test]
+    fn poisson_field_has_exact_count_and_radius() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let topo = poisson_field(&mut rng, 500, 8.0, 1.0);
+        assert_eq!(topo.len(), 500);
+        assert_eq!(topo.measured, 500);
+        let radius = (500.0f64 / 8.0).sqrt();
+        for p in &topo.positions {
+            assert!(Point::ORIGIN.distance(*p) <= radius + 1e-9);
+        }
+    }
+
+    #[test]
+    fn poisson_field_pinned_is_reproducible() {
+        let a = poisson_field_pinned(0xD1CA, 200, 8.0, 1.0);
+        let b = poisson_field_pinned(0xD1CA, 200, 8.0, 1.0);
+        assert_eq!(a, b);
+        let c = poisson_field_pinned(0xD1CB, 200, 8.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_field_mean_degree_near_n_avg() {
+        // No degree validation happens at generation time (the documented
+        // behavioural gate); the law of large numbers must carry it. At
+        // n = 2000 the interior mean degree concentrates near n_avg, with
+        // slack for boundary nodes seeing truncated disks.
+        let topo = poisson_field_pinned(7, 2000, 8.0, 1.0);
+        let degrees = topo.degrees();
+        let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+        assert!(
+            (mean - 8.0).abs() < 1.5,
+            "mean degree {mean} far from n_avg = 8"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "node count must be positive")]
+    fn poisson_field_rejects_zero_nodes() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = poisson_field(&mut rng, 0, 8.0, 1.0);
     }
 }
