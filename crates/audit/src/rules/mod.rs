@@ -17,8 +17,18 @@ use crate::model::SourceFile;
 
 /// Crates whose data structures feed event ordering: hash collections are
 /// banned outright (DA001). The trace crate is included because its
-/// recorder and metrics registry sit on the record path.
-pub const ORDERING_CRATES: &[&str] = &["sim", "mac", "net", "radio", "experiments", "trace"];
+/// recorder and metrics registry sit on the record path; the serve crate
+/// because its pending-connection queue and checkpoint handling must be
+/// deterministic for byte-identical resumed reports.
+pub const ORDERING_CRATES: &[&str] = &[
+    "sim",
+    "mac",
+    "net",
+    "radio",
+    "experiments",
+    "trace",
+    "serve",
+];
 
 /// Crates that must be reproducible end to end: no wall clocks, no
 /// entropy (DA002).
@@ -33,6 +43,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "geometry",
     "stats",
     "trace",
+    "serve",
 ];
 
 /// Crates whose library code is reachable from the event-dispatch loop:

@@ -14,9 +14,13 @@
 //! `--inject-panic n,theta,scheme` / `--inject-timeout n,theta,scheme`.
 //!
 //! With `--trace PATH` (requires building with `--features trace`) the run
-//! additionally exports a structured JSONL trace of topology 0 of every
-//! cell — see `dirca_experiments::tracegrid` for the document layout and
-//! the `trace_view` binary for folding it into per-node timelines.
+//! additionally exports a structured trace of topology 0 of every cell —
+//! JSONL by default, or the CRC-framed binary encoding with
+//! `--trace-format bin`. See `dirca_experiments::tracegrid` for the
+//! document layouts and the `trace_view` binary for folding either format
+//! into per-node timelines. `--checkpoint-format {jsonl,bin}` selects the
+//! checkpoint encoding the same way (resume auto-detects the existing
+//! file's format).
 //!
 //! Exit status: 0 on a clean complete grid, 1 if any cell failed, 2 on a
 //! usage error, 3 if `--max-cells` stopped the run early.
@@ -41,8 +45,17 @@ fn main() {
     if let Some(path) = flags.get("trace") {
         #[cfg(feature = "trace")]
         {
-            eprintln!("exporting structured trace to {path}");
-            dirca_experiments::tracegrid::export_grid_trace(&scale, path).unwrap_or_else(|e| {
+            use dirca_experiments::wireio::WireFormat;
+            let format =
+                WireFormat::try_from_flags(&flags, "trace-format").unwrap_or_else(|e| e.exit());
+            eprintln!("exporting structured {format} trace to {path}");
+            match format {
+                WireFormat::Jsonl => dirca_experiments::tracegrid::export_grid_trace(&scale, path),
+                WireFormat::Bin => {
+                    dirca_experiments::tracegrid::export_grid_trace_bin(&scale, path)
+                }
+            }
+            .unwrap_or_else(|e| {
                 eprintln!("failed to write trace {path}: {e}");
                 std::process::exit(1);
             });
@@ -61,6 +74,9 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(1);
     });
+    for w in &outcome.warnings {
+        eprintln!("warning: {w}");
+    }
     if outcome.restored > 0 {
         eprintln!(
             "restored {} completed cells from the checkpoint",

@@ -1,14 +1,25 @@
-//! Folds a `paper_grid --trace` JSONL document into per-node handshake
-//! timelines, or validates it against the record schema.
+//! Folds a `paper_grid --trace` document into per-node handshake
+//! timelines, or validates it against the record schema. Reads both the
+//! JSONL format and the CRC-framed binary format (`--trace-format bin`),
+//! auto-detected from the leading bytes.
 //!
 //! ```text
 //! trace_view grid_trace.jsonl            # human-readable per-cell fold
 //! trace_view grid_trace.jsonl --check    # schema validation only (exit 0/1)
+//! trace_view grid_trace.bin --check      # same, binary document
 //! ```
 //!
-//! Exit status: 0 on success, 1 on a schema violation or unreadable file,
-//! 2 on a usage error.
+//! Diagnostics locate the first bad input precisely: `line L, byte B` for
+//! JSONL (B is the absolute file offset of the corrupt character), the
+//! frame's byte offset for binary documents — plus how many records
+//! validated before the damage, so a torn tail is distinguishable from a
+//! wholly corrupt file at a glance.
+//!
+//! Exit status: 0 on success, 1 on a schema violation, corrupt/truncated
+//! input, or unreadable file, 2 on a usage error.
 
+use dirca_experiments::wireio::sniff_binary;
+use dirca_trace::wire::{self, kind};
 use dirca_trace::{Json, RecordKind, TraceRecord};
 
 fn main() {
@@ -33,11 +44,22 @@ fn main() {
         eprintln!("usage: trace_view <path> [--check]");
         std::process::exit(2);
     };
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
     });
-    match process(&text, check) {
+    let result = if sniff_binary(&bytes) {
+        process_bin(&bytes, check)
+    } else {
+        match std::str::from_utf8(&bytes) {
+            Ok(text) => process(text, check),
+            Err(e) => Err(format!(
+                "byte {}: not UTF-8 text (and not a binary wire document)",
+                e.valid_up_to()
+            )),
+        }
+    };
+    match result {
         // A plain `print!` panics on EPIPE when the fold is piped into
         // `head`; a failed write to a closed pipe is not an error here.
         Ok(report) => {
@@ -140,21 +162,37 @@ impl CellFold {
 }
 
 /// Validates `text` line by line; unless `check_only`, also folds it into
-/// the human-readable per-cell report.
+/// the human-readable per-cell report. Diagnostics carry `line L, byte B`
+/// where B is the absolute file offset of the first corrupt character.
 fn process(text: &str, check_only: bool) -> Result<String, String> {
     use std::fmt::Write as _;
     let mut out = String::new();
     let mut cell: Option<CellFold> = None;
     let mut cells_seen = 0u64;
     let mut records_seen = 0u64;
-    for (lineno, line) in text.lines().enumerate() {
+    let mut line_start = 0usize;
+    for (lineno, raw) in text.split_inclusive('\n').enumerate() {
         let lineno = lineno + 1;
-        let v = Json::parse(line).map_err(|e| format!("line {lineno}: invalid JSON: {e}"))?;
+        let line = raw.trim_end_matches('\n').trim_end_matches('\r');
+        let start = line_start;
+        line_start += raw.len();
+        let at =
+            move |offset_in_line: usize| format!("line {lineno}, byte {}", start + offset_in_line);
+        let context = |records_seen: u64| {
+            format!("({records_seen} records validated before the first bad input)")
+        };
+        let v = Json::parse(line).map_err(|e| {
+            format!(
+                "{}: corrupt or truncated record: {e} {}",
+                at(e.offset),
+                context(records_seen)
+            )
+        })?;
         if lineno == 1 {
             match v.get("schema").and_then(Json::as_str) {
                 Some("dirca-trace/v1") => continue,
                 Some(other) => return Err(format!("unsupported schema {other:?}")),
-                None => return Err("line 1: missing schema header".to_string()),
+                None => return Err("line 1, byte 0: missing schema header".to_string()),
             }
         }
         match v.get("ev").and_then(Json::as_str) {
@@ -166,15 +204,15 @@ fn process(text: &str, check_only: bool) -> Result<String, String> {
                 let n = v
                     .get("n")
                     .and_then(Json::as_u64)
-                    .ok_or_else(|| format!("line {lineno}: cell marker missing \"n\""))?;
+                    .ok_or_else(|| format!("{}: cell marker missing \"n\"", at(0)))?;
                 let theta = v
                     .get("theta_deg")
                     .and_then(Json::as_num)
-                    .ok_or_else(|| format!("line {lineno}: cell marker missing \"theta_deg\""))?;
+                    .ok_or_else(|| format!("{}: cell marker missing \"theta_deg\"", at(0)))?;
                 let scheme = v
                     .get("scheme")
                     .and_then(Json::as_str)
-                    .ok_or_else(|| format!("line {lineno}: cell marker missing \"scheme\""))?;
+                    .ok_or_else(|| format!("{}: cell marker missing \"scheme\"", at(0)))?;
                 cell = Some(CellFold {
                     header: format!("cell N={n} theta={theta} {scheme}"),
                     ..CellFold::default()
@@ -183,9 +221,9 @@ fn process(text: &str, check_only: bool) -> Result<String, String> {
             Some("metrics") => {
                 let data = v
                     .get("data")
-                    .ok_or_else(|| format!("line {lineno}: metrics marker missing \"data\""))?;
+                    .ok_or_else(|| format!("{}: metrics marker missing \"data\"", at(0)))?;
                 if data.get("counters").and_then(Json::as_obj).is_none() {
-                    return Err(format!("line {lineno}: metrics block missing counters"));
+                    return Err(format!("{}: metrics block missing counters", at(0)));
                 }
                 if let Some(done) = cell.take() {
                     done.render(&mut out);
@@ -199,13 +237,14 @@ fn process(text: &str, check_only: bool) -> Result<String, String> {
                 }
             }
             _ => {
-                let record = TraceRecord::from_json(&v)
-                    .map_err(|e| format!("line {lineno}: schema violation: {e}"))?;
+                let record = TraceRecord::from_json(&v).map_err(|e| {
+                    format!("{}: schema violation: {e} {}", at(0), context(records_seen))
+                })?;
                 records_seen += 1;
                 if let Some(fold) = cell.as_mut() {
                     fold.absorb(&record);
                 } else {
-                    return Err(format!("line {lineno}: record before any cell marker"));
+                    return Err(format!("{}: record before any cell marker", at(0)));
                 }
             }
         }
@@ -220,4 +259,225 @@ fn process(text: &str, check_only: bool) -> Result<String, String> {
     }
     let _ = writeln!(out, "{cells_seen} cells, {records_seen} records");
     Ok(out)
+}
+
+/// Validates a binary wire document frame by frame; unless `check_only`,
+/// also folds it into the same per-cell report as the JSONL path. A
+/// corrupt or truncated tail is reported with its byte offset and the
+/// count of frames/records that validated before it.
+fn process_bin(bytes: &[u8], check_only: bool) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut cell: Option<CellFold> = None;
+    let mut cells_seen = 0u64;
+    let mut records_seen = 0u64;
+    let mut saw_header = false;
+    for (idx, item) in wire::FrameDecoder::new(bytes).enumerate() {
+        let frame = item.map_err(|e| {
+            format!(
+                "byte {}: corrupt or truncated frame: {e} \
+                 ({idx} frames / {records_seen} records validated before the first bad input)",
+                e.offset()
+            )
+        })?;
+        let frames_seen = idx as u64 + 1;
+        let bad = |what: &str| format!("frame {frames_seen} ({:#04x}): {what}", frame.kind);
+        if !saw_header {
+            if frame.kind != kind::TRACE_HEADER {
+                return Err(bad("expected a TRACE_HEADER frame first"));
+            }
+            let mut r = wire::WireReader::new(&frame.payload);
+            let _seed = r.take_u64().map_err(|e| bad(&e.to_string()))?;
+            let _cells = r.take_u32().map_err(|e| bad(&e.to_string()))?;
+            r.finish().map_err(|e| bad(&e.to_string()))?;
+            saw_header = true;
+            continue;
+        }
+        match frame.kind {
+            kind::CELL_MARKER => {
+                cells_seen += 1;
+                if let Some(done) = cell.take() {
+                    done.render(&mut out);
+                }
+                let mut r = wire::WireReader::new(&frame.payload);
+                let n = r.take_u64().map_err(|e| bad(&e.to_string()))?;
+                let theta = r.take_f64().map_err(|e| bad(&e.to_string()))?;
+                let scheme = wire::decode_scheme(r.take_u8().map_err(|e| bad(&e.to_string()))?, 0)
+                    .map_err(|e| bad(&e.to_string()))?;
+                let _topology = r.take_u32().map_err(|e| bad(&e.to_string()))?;
+                r.finish().map_err(|e| bad(&e.to_string()))?;
+                cell = Some(CellFold {
+                    header: format!("cell N={n} theta={theta} {scheme:?}"),
+                    ..CellFold::default()
+                });
+            }
+            kind::METRICS => {
+                let mut r = wire::WireReader::new(&frame.payload);
+                let json = r.take_str().map_err(|e| bad(&e.to_string()))?;
+                let data = Json::parse(json).map_err(|e| bad(&e.to_string()))?;
+                if data.get("counters").and_then(Json::as_obj).is_none() {
+                    return Err(bad("metrics block missing counters"));
+                }
+                if let Some(done) = cell.take() {
+                    done.render(&mut out);
+                    if let Some(acked) = data
+                        .get("counters")
+                        .and_then(|c| c.get("packets_acked"))
+                        .and_then(Json::as_u64)
+                    {
+                        let _ = writeln!(out, "  metrics: packets_acked={acked}");
+                    }
+                }
+            }
+            kind::RECORD => {
+                let record = wire::decode_record_payload(&frame.payload).map_err(|e| {
+                    format!(
+                        "{} ({records_seen} records validated before the first bad input)",
+                        bad(&format!("schema violation: {e}"))
+                    )
+                })?;
+                records_seen += 1;
+                if let Some(fold) = cell.as_mut() {
+                    fold.absorb(&record);
+                } else {
+                    return Err(bad("record before any cell marker"));
+                }
+            }
+            _ => return Err(bad("unexpected frame kind in a trace document")),
+        }
+    }
+    if !saw_header {
+        return Err("empty document: no TRACE_HEADER frame".to_string());
+    }
+    if let Some(done) = cell.take() {
+        done.render(&mut out);
+    }
+    if check_only {
+        return Ok(format!(
+            "ok: {cells_seen} cells, {records_seen} records validated\n"
+        ));
+    }
+    let _ = writeln!(out, "{cells_seen} cells, {records_seen} records");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use dirca_trace::wire::{encode_frame_into, WireWriter};
+
+    fn jsonl_fixture() -> String {
+        concat!(
+            "{\"schema\":\"dirca-trace/v1\",\"seed\":7,\"cells\":1}\n",
+            "{\"ev\":\"cell\",\"n\":3,\"theta_deg\":90,\"scheme\":\"OrtsOcts\",\"topology\":0}\n",
+            "{\"t\":1000,\"node\":0,\"ev\":\"backoff_draw\",\"cw\":31,\"slots\":14}\n",
+            "{\"t\":2000,\"node\":1,\"ev\":\"packet_acked\"}\n",
+            "{\"ev\":\"metrics\",\"data\":{\"counters\":{\"packets_acked\":1}}}\n",
+        )
+        .to_string()
+    }
+
+    fn bin_fixture() -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut w = WireWriter::new();
+        w.put_u64(7);
+        w.put_u32(1);
+        encode_frame_into(kind::TRACE_HEADER, &w.into_bytes(), &mut out);
+        let mut w = WireWriter::new();
+        w.put_u64(3);
+        w.put_f64(90.0);
+        w.put_u8(0);
+        w.put_u32(0);
+        encode_frame_into(kind::CELL_MARKER, &w.into_bytes(), &mut out);
+        let record = TraceRecord {
+            time: dirca_sim::SimTime::from_nanos(1000),
+            node: dirca_radio::NodeId(0),
+            kind: RecordKind::PacketAcked,
+        };
+        encode_frame_into(kind::RECORD, &wire::record_payload(&record), &mut out);
+        let mut w = WireWriter::new();
+        w.put_str("{\"counters\":{\"packets_acked\":1}}");
+        encode_frame_into(kind::METRICS, &w.into_bytes(), &mut out);
+        out
+    }
+
+    #[test]
+    fn clean_jsonl_checks_and_folds() {
+        let doc = jsonl_fixture();
+        assert_eq!(
+            process(&doc, true).unwrap(),
+            "ok: 1 cells, 2 records validated\n"
+        );
+        let fold = process(&doc, false).unwrap();
+        assert!(fold.contains("cell N=3 theta=90 OrtsOcts"));
+        assert!(fold.contains("metrics: packets_acked=1"));
+    }
+
+    #[test]
+    fn truncated_jsonl_reports_line_and_byte_of_the_tear() {
+        let doc = jsonl_fixture();
+        // Tear the file mid-way through the 4th line, as a crash mid-write
+        // would: everything before the tear is intact.
+        let cut = doc.match_indices('\n').nth(2).unwrap().0 + 1 + 20;
+        let torn = &doc[..cut];
+        let err = process(torn, true).unwrap_err();
+        assert!(err.starts_with("line 4, byte "), "got: {err}");
+        let byte: usize = err["line 4, byte ".len()..]
+            .split(':')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let line4_start = doc.match_indices('\n').nth(2).unwrap().0 + 1;
+        assert!(
+            (line4_start..cut + 1).contains(&byte),
+            "byte {byte} must point into the torn line (starts at {line4_start}, cut at {cut})"
+        );
+        assert!(err.contains("corrupt or truncated record"), "got: {err}");
+        assert!(err.contains("1 records validated"), "got: {err}");
+    }
+
+    #[test]
+    fn schema_violations_name_the_line_and_byte() {
+        let mut doc = jsonl_fixture();
+        doc = doc.replace(
+            "\"ev\":\"backoff_draw\",\"cw\":31,",
+            "\"ev\":\"backoff_draw\",",
+        );
+        let err = process(&doc, true).unwrap_err();
+        assert!(err.starts_with("line 3, byte "), "got: {err}");
+        assert!(err.contains("schema violation"), "got: {err}");
+    }
+
+    #[test]
+    fn clean_binary_checks_and_folds() {
+        let doc = bin_fixture();
+        assert_eq!(
+            process_bin(&doc, true).unwrap(),
+            "ok: 1 cells, 1 records validated\n"
+        );
+        let fold = process_bin(&doc, false).unwrap();
+        assert!(fold.contains("cell N=3 theta=90 OrtsOcts"));
+        assert!(fold.contains("metrics: packets_acked=1"));
+    }
+
+    #[test]
+    fn torn_binary_tail_reports_its_byte_offset() {
+        let doc = bin_fixture();
+        let torn = &doc[..doc.len() - 5];
+        let err = process_bin(torn, true).unwrap_err();
+        assert!(err.starts_with("byte "), "got: {err}");
+        assert!(err.contains("corrupt or truncated frame"), "got: {err}");
+        assert!(err.contains("3 frames / 1 records validated"), "got: {err}");
+    }
+
+    #[test]
+    fn flipped_binary_byte_is_a_crc_diagnostic() {
+        let mut doc = bin_fixture();
+        let last = doc.len() - 8; // inside the METRICS payload
+        doc[last] ^= 0x40;
+        let err = process_bin(&doc, true).unwrap_err();
+        assert!(err.contains("CRC mismatch"), "got: {err}");
+    }
 }

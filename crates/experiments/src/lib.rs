@@ -46,3 +46,4 @@ pub mod table;
 pub mod table1;
 #[cfg(feature = "trace")]
 pub mod tracegrid;
+pub mod wireio;

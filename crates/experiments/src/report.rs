@@ -56,6 +56,10 @@ pub struct GridScale {
     pub densities: Vec<usize>,
     /// Beamwidths (degrees) to sweep.
     pub beamwidths: Vec<f64>,
+    /// I.i.d. frame error rate injected in every cell; `0.0` (the
+    /// default) keeps the fault layer trivial and the run byte-identical
+    /// to a plan-free grid.
+    pub fer: f64,
 }
 
 impl GridScale {
@@ -86,6 +90,14 @@ impl GridScale {
             Some(_) => vec![flags.try_get_f64("theta", 0.0)?],
             None => vec![30.0, 90.0, 150.0],
         };
+        let fer = flags.try_get_f64("fer", 0.0)?;
+        if !(0.0..1.0).contains(&fer) {
+            return Err(UsageError {
+                flag: "fer".to_string(),
+                expected: "a frame error rate in [0, 1)",
+                got: format!("{fer}"),
+            });
+        }
         Ok(GridScale {
             topologies,
             measure: SimDuration::from_millis(measure_ms),
@@ -94,6 +106,7 @@ impl GridScale {
             seed: flags.try_get_u64("seed", 0xD1CA)?,
             densities,
             beamwidths,
+            fer,
         })
     }
 
@@ -109,7 +122,10 @@ impl GridScale {
             measure: self.measure,
             reception: dirca_radio::ReceptionMode::Omni,
             mac: dirca_mac::MacConfig::default(),
-            fault: dirca_net::FaultPlan::default(),
+            // At fer = 0 the plan is trivial: the fault layer consumes no
+            // RNG draws and the cell stays byte-identical to a plan-free
+            // run (the golden-hash battery in dirca-net pins this).
+            fault: dirca_net::FaultPlan::default().with_frame_error_rate(self.fer),
         }
     }
 }
@@ -247,6 +263,7 @@ mod tests {
             seed: 7,
             densities: vec![3],
             beamwidths: vec![90.0],
+            fer: 0.0,
         }
     }
 
@@ -297,6 +314,13 @@ mod tests {
         assert_eq!(err.flag, "theta");
         let flags = Flags::parse(["--n", "many"].iter().map(|s| s.to_string()));
         assert!(GridScale::try_from_flags(&flags).is_err());
+        for bad_fer in ["1.0", "-0.1", "NaN"] {
+            let flags = Flags::parse(["--fer", bad_fer].iter().map(|s| s.to_string()));
+            let err = GridScale::try_from_flags(&flags).expect_err("fer outside [0, 1)");
+            assert_eq!(err.flag, "fer");
+        }
+        let flags = Flags::parse(["--fer", "0.25"].iter().map(|s| s.to_string()));
+        assert_eq!(GridScale::try_from_flags(&flags).unwrap().fer, 0.25);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use dirca_mac::Scheme;
@@ -30,6 +30,7 @@ use dirca_sim::AbortReason;
 use crate::cli::{Flags, UsageError};
 use crate::report::GridScale;
 use crate::ringsim::{try_run_cell, CellFailure, CellGuards, TopologySample};
+use crate::wireio::{self, WireFormat};
 
 /// One grid coordinate: density × beamwidth × scheme.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,6 +94,9 @@ pub struct GridRun {
     pub restored: usize,
     /// Whether `--max-cells` stopped the run before the grid completed.
     pub stopped_early: bool,
+    /// Non-fatal degradations (e.g. a torn checkpoint tail skipped on
+    /// resume), for the caller to surface on stderr.
+    pub warnings: Vec<String>,
 }
 
 impl GridRun {
@@ -133,6 +137,10 @@ pub struct RunnerConfig {
     pub watchdog: Option<Watchdog>,
     /// Checkpoint file to write (and resume from).
     pub checkpoint: Option<PathBuf>,
+    /// Encoding for a freshly created checkpoint. On resume the existing
+    /// file's format wins (sniffed from its leading bytes), so appended
+    /// records always match what is already there.
+    pub checkpoint_format: WireFormat,
     /// Re-use completed cells from the checkpoint instead of starting
     /// over.
     pub resume: bool,
@@ -151,6 +159,7 @@ impl Default for RunnerConfig {
             retries: 1,
             watchdog: None,
             checkpoint: None,
+            checkpoint_format: WireFormat::Jsonl,
             resume: false,
             max_cells: None,
             inject_panic: None,
@@ -161,8 +170,9 @@ impl Default for RunnerConfig {
 
 impl RunnerConfig {
     /// Builds the runner policy from flags: `--threads`, `--retries`,
-    /// `--events-budget`, `--checkpoint PATH`, `--resume`, `--max-cells`,
-    /// and the drill switches `--inject-panic n,theta,scheme` /
+    /// `--events-budget`, `--checkpoint PATH`,
+    /// `--checkpoint-format {jsonl,bin}`, `--resume`, `--max-cells`, and
+    /// the drill switches `--inject-panic n,theta,scheme` /
     /// `--inject-timeout n,theta,scheme`.
     pub fn try_from_flags(flags: &Flags) -> Result<Self, UsageError> {
         let parse_cell = |flag: &str| -> Result<Option<Cell>, UsageError> {
@@ -184,6 +194,7 @@ impl RunnerConfig {
             retries: u32::try_from(flags.try_get_usize("retries", 1)?).unwrap_or(u32::MAX),
             watchdog: (events_budget > 0).then(|| Watchdog::max_events(events_budget)),
             checkpoint: flags.get("checkpoint").map(PathBuf::from),
+            checkpoint_format: WireFormat::try_from_flags(flags, "checkpoint-format")?,
             resume: flags.has("resume"),
             max_cells: match flags.try_get_usize("max-cells", 0)? {
                 0 => None,
@@ -214,13 +225,14 @@ pub fn enumerate_cells(scale: &GridScale) -> Vec<Cell> {
 /// so a checkpoint taken at `--threads 1` resumes fine at `--threads 8`.
 pub fn grid_fingerprint(scale: &GridScale) -> String {
     let canon = format!(
-        "topologies={};measure={:?};warmup={:?};seed={};densities={:?};beamwidths={:?}",
+        "topologies={};measure={:?};warmup={:?};seed={};densities={:?};beamwidths={:?};fer={:?}",
         scale.topologies,
         scale.measure,
         scale.warmup,
         scale.seed,
         scale.densities,
-        scale.beamwidths
+        scale.beamwidths,
+        scale.fer
     );
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for b in canon.bytes() {
@@ -678,21 +690,67 @@ fn io_err(path: &Path, e: std::io::Error) -> CheckpointError {
     }
 }
 
-/// Replays a checkpoint: validates the header fingerprint and returns the
-/// completed cells' samples (later records for the same cell win, so a
-/// retried cell restores its newest outcome).
+/// What a checkpoint replay restored: the completed cells' samples plus
+/// any non-fatal degradations encountered along the way.
+type Restored = (BTreeMap<CellKey, Vec<TopologySample>>, Vec<String>);
+
+/// Replays a checkpoint from its raw bytes, dispatching on the sniffed
+/// format: validates the header fingerprint and returns the completed
+/// cells' samples (later records for the same cell win, so a retried cell
+/// restores its newest outcome).
+///
+/// Crash tolerance: a torn or corrupt *trailing* record — the signature
+/// of a crash mid-write — is skipped with a warning and its cell re-run,
+/// instead of failing the whole resume. Corruption anywhere *before* the
+/// tail still hard-errors: that is not a torn write, and silently
+/// dropping interior records would resurrect stale results.
 fn load_checkpoint(
-    path: &Path,
+    bytes: &[u8],
     fingerprint: &str,
     grid: &[Cell],
-) -> Result<BTreeMap<CellKey, Vec<TopologySample>>, CheckpointError> {
-    let file = File::open(path).map_err(|e| io_err(path, e))?;
-    let mut lines = BufReader::new(file).lines().enumerate();
-    let header = match lines.next() {
-        Some((_, Ok(text))) => {
-            JsonParser::parse(&text).map_err(|_| CheckpointError::MissingHeader)?
+) -> Result<Restored, CheckpointError> {
+    if wireio::sniff_binary(bytes) {
+        load_checkpoint_bin(bytes, fingerprint, grid)
+    } else {
+        load_checkpoint_jsonl(bytes, fingerprint, grid)
+    }
+}
+
+/// Applies one parsed record to the restore map (shared by both formats):
+/// `ok` records restore, recorded failures un-restore so the cell re-runs.
+fn apply_record(
+    done: &mut BTreeMap<CellKey, Vec<TopologySample>>,
+    cell: Cell,
+    samples: Option<Vec<TopologySample>>,
+) {
+    match samples {
+        Some(s) => {
+            done.insert(cell.key(), s);
         }
-        Some((_, Err(e))) => return Err(io_err(path, e)),
+        None => {
+            // A newer failure supersedes an older success only if the
+            // cell was re-run and failed — keep the latest verdict.
+            done.remove(&cell.key());
+        }
+    }
+}
+
+fn unknown_cell(grid: &[Cell], cell: &Cell, line: usize) -> Option<CheckpointError> {
+    (!grid.iter().any(|c| c.key() == cell.key())).then(|| CheckpointError::UnknownCell {
+        line,
+        cell: cell.to_string(),
+    })
+}
+
+fn load_checkpoint_jsonl(
+    bytes: &[u8],
+    fingerprint: &str,
+    grid: &[Cell],
+) -> Result<Restored, CheckpointError> {
+    let text = std::str::from_utf8(bytes).map_err(|_| CheckpointError::MissingHeader)?;
+    let lines: Vec<&str> = text.lines().collect();
+    let header = match lines.first() {
+        Some(first) => JsonParser::parse(first).map_err(|_| CheckpointError::MissingHeader)?,
         None => return Err(CheckpointError::MissingHeader),
     };
     if header.get("dirca_checkpoint").and_then(Json::as_usize) != Some(1) {
@@ -708,36 +766,94 @@ fn load_checkpoint(
             found: found.to_string(),
         });
     }
+    let last_data_line = lines
+        .iter()
+        .rposition(|l| !l.trim().is_empty())
+        .unwrap_or(0);
     let mut done = BTreeMap::new();
-    for (i, line) in lines {
+    let mut warnings = Vec::new();
+    for (i, text) in lines.iter().enumerate().skip(1) {
         let line_no = i + 1;
-        let text = line.map_err(|e| io_err(path, e))?;
         if text.trim().is_empty() {
             continue; // a torn final write leaves at most a blank tail
         }
-        let json = JsonParser::parse(&text).map_err(|what| CheckpointError::Syntax {
-            line: line_no,
-            what,
-        })?;
-        let (cell, samples) = parse_record(line_no, &json)?;
-        if !grid.iter().any(|c| c.key() == cell.key()) {
-            return Err(CheckpointError::UnknownCell {
+        let is_tail = i == last_data_line;
+        let parsed = JsonParser::parse(text)
+            .map_err(|what| CheckpointError::Syntax {
                 line: line_no,
-                cell: cell.to_string(),
-            });
-        }
-        match samples {
-            Some(s) => {
-                done.insert(cell.key(), s);
+                what,
+            })
+            .and_then(|json| parse_record(line_no, &json));
+        let (cell, samples) = match parsed {
+            Ok(v) => v,
+            Err(e) if is_tail => {
+                warnings.push(format!(
+                    "checkpoint line {line_no} is torn or corrupt and was skipped \
+                     (its cell will re-run): {e}"
+                ));
+                break;
             }
-            None => {
-                // A newer failure supersedes an older success only if the
-                // cell was re-run and failed — keep the latest verdict.
-                done.remove(&cell.key());
-            }
+            Err(e) => return Err(e),
+        };
+        if let Some(e) = unknown_cell(grid, &cell, line_no) {
+            return Err(e);
         }
+        apply_record(&mut done, cell, samples);
     }
-    Ok(done)
+    Ok((done, warnings))
+}
+
+fn load_checkpoint_bin(
+    bytes: &[u8],
+    fingerprint: &str,
+    grid: &[Cell],
+) -> Result<Restored, CheckpointError> {
+    use dirca_trace::wire::{decode_all, kind};
+    let (frames, tail_error) = decode_all(bytes);
+    let Some(header) = frames.first() else {
+        return Err(CheckpointError::MissingHeader);
+    };
+    if header.kind != kind::CKPT_HEADER {
+        return Err(CheckpointError::MissingHeader);
+    }
+    let found =
+        wireio::decode_ckpt_header(&header.payload).map_err(|_| CheckpointError::MissingHeader)?;
+    if found != fingerprint {
+        return Err(CheckpointError::FingerprintMismatch {
+            expected: fingerprint.to_string(),
+            found,
+        });
+    }
+    let mut done = BTreeMap::new();
+    let mut warnings = Vec::new();
+    for (i, frame) in frames.iter().enumerate().skip(1) {
+        // "Line" numbers in binary diagnostics are 1-based frame indices.
+        let frame_no = i + 1;
+        if frame.kind != kind::CKPT_CELL {
+            return Err(bad(
+                frame_no,
+                format!("unexpected frame kind {:#04x}", frame.kind),
+            ));
+        }
+        // A CRC-valid frame with an undecodable payload is not a torn
+        // write — it is a schema mismatch, and stays a hard error.
+        let (cell, samples) =
+            wireio::decode_ckpt_cell(&frame.payload).map_err(|e| bad(frame_no, e.to_string()))?;
+        if let Some(e) = unknown_cell(grid, &cell, frame_no) {
+            return Err(e);
+        }
+        apply_record(&mut done, cell, samples);
+    }
+    if let Some(e) = tail_error {
+        // The CRC framing makes every decoded prefix frame trustworthy,
+        // so whatever stopped the decoder is by definition a tail problem
+        // — degrade to a warning and re-run the lost cell.
+        warnings.push(format!(
+            "checkpoint tail is torn or corrupt and was skipped \
+             (at most one cell will re-run): {e}"
+        ));
+    }
+    Ok((done, warnings))
 }
 
 // ---------------------------------------------------------------------
@@ -752,13 +868,36 @@ fn load_checkpoint(
 /// outcome is appended to the checkpoint before the next cell starts, so
 /// an interruption at any point loses at most one cell of work.
 pub fn run_grid(scale: &GridScale, config: &RunnerConfig) -> Result<GridRun, CheckpointError> {
+    run_grid_with(scale, config, &mut |_| {})
+}
+
+/// [`run_grid`] with a per-cell observer: `observer` is called with every
+/// outcome as soon as it is known (restored cells first, then each
+/// executed cell right after its checkpoint record is flushed). This is
+/// the hook `dirca-serve` streams progress heartbeats from — by the time
+/// the observer sees an outcome, it is already durable.
+pub fn run_grid_with(
+    scale: &GridScale,
+    config: &RunnerConfig,
+    observer: &mut dyn FnMut(&CellOutcome),
+) -> Result<GridRun, CheckpointError> {
     let cells = enumerate_cells(scale);
     let fingerprint = grid_fingerprint(scale);
     let mut done: BTreeMap<CellKey, Vec<TopologySample>> = BTreeMap::new();
+    let mut warnings = Vec::new();
     let mut sink: Option<File> = None;
+    // Appended records must match the existing file, whatever the flag
+    // says; a fresh file is written in the configured format.
+    let mut sink_format = config.checkpoint_format;
     if let Some(path) = &config.checkpoint {
         if config.resume && path.exists() {
-            done = load_checkpoint(path, &fingerprint, &cells)?;
+            let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+            sink_format = if wireio::sniff_binary(&bytes) {
+                WireFormat::Bin
+            } else {
+                WireFormat::Jsonl
+            };
+            (done, warnings) = load_checkpoint(&bytes, &fingerprint, &cells)?;
             sink = Some(
                 OpenOptions::new()
                     .append(true)
@@ -767,7 +906,15 @@ pub fn run_grid(scale: &GridScale, config: &RunnerConfig) -> Result<GridRun, Che
             );
         } else {
             let mut file = File::create(path).map_err(|e| io_err(path, e))?;
-            writeln!(file, "{}", header_line(&fingerprint)).map_err(|e| io_err(path, e))?;
+            match sink_format {
+                WireFormat::Jsonl => {
+                    writeln!(file, "{}", header_line(&fingerprint)).map_err(|e| io_err(path, e))?;
+                }
+                WireFormat::Bin => {
+                    file.write_all(&wireio::ckpt_header_frame(&fingerprint))
+                        .map_err(|e| io_err(path, e))?;
+                }
+            }
             sink = Some(file);
         }
     }
@@ -782,6 +929,7 @@ pub fn run_grid(scale: &GridScale, config: &RunnerConfig) -> Result<GridRun, Che
                 attempts: 0,
                 result: Ok(samples.clone()),
             });
+            observer(outcomes.last().expect("just pushed"));
             continue;
         }
         if config.max_cells.is_some_and(|k| executed >= k) {
@@ -811,7 +959,16 @@ pub fn run_grid(scale: &GridScale, config: &RunnerConfig) -> Result<GridRun, Che
             }
         };
         if let (Some(file), Some(path)) = (sink.as_mut(), config.checkpoint.as_ref()) {
-            writeln!(file, "{}", record_line(cell, &result)).map_err(|e| io_err(path, e))?;
+            match sink_format {
+                WireFormat::Jsonl => {
+                    writeln!(file, "{}", record_line(cell, &result))
+                        .map_err(|e| io_err(path, e))?;
+                }
+                WireFormat::Bin => {
+                    file.write_all(&wireio::ckpt_cell_frame(cell, &result))
+                        .map_err(|e| io_err(path, e))?;
+                }
+            }
             file.flush().map_err(|e| io_err(path, e))?;
         }
         outcomes.push(CellOutcome {
@@ -819,12 +976,14 @@ pub fn run_grid(scale: &GridScale, config: &RunnerConfig) -> Result<GridRun, Che
             attempts,
             result,
         });
+        observer(outcomes.last().expect("just pushed"));
     }
     Ok(GridRun {
         outcomes,
         executed,
         restored,
         stopped_early,
+        warnings,
     })
 }
 
@@ -938,6 +1097,7 @@ mod tests {
             seed,
             densities: vec![3],
             beamwidths: vec![90.0],
+            fer: 0.0,
         };
         assert_eq!(
             grid_fingerprint(&scale(1, 1)),
@@ -959,6 +1119,7 @@ mod tests {
             seed: 0,
             densities: vec![3, 5],
             beamwidths: vec![30.0, 90.0],
+            fer: 0.0,
         };
         let cells = enumerate_cells(&scale);
         assert_eq!(cells.len(), 2 * 2 * 3);

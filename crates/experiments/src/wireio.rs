@@ -1,0 +1,315 @@
+//! Binary (CRC-framed) encodings of the runner's checkpoint records,
+//! plus the `--trace-format` / `--checkpoint-format` flag vocabulary.
+//!
+//! The JSONL checkpoint and trace formats stay the human-auditable
+//! default; the binary twin defined here (built on
+//! [`dirca_trace::wire`]) is roughly 4–5× denser and, thanks to
+//! per-frame CRCs, distinguishes "torn tail from a crash mid-write"
+//! from "actually corrupt data" — the property the crash-tolerant
+//! resume path and `dirca-serve` are built on. Readers pick the format
+//! by sniffing the leading bytes ([`sniff_binary`]): no JSONL document
+//! starts with the wire magic.
+
+use std::fmt;
+
+use dirca_sim::{AbortReason, SimTime};
+use dirca_trace::wire::{
+    self, decode_scheme, encode_scheme, kind, PayloadError, WireReader, WireWriter,
+};
+
+use crate::cli::{Flags, UsageError};
+use crate::ringsim::{CellFailure, TopologySample};
+use crate::runner::Cell;
+
+/// On-disk encoding for checkpoints and trace documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// One JSON object per line (the original, human-auditable format).
+    #[default]
+    Jsonl,
+    /// CRC-framed binary frames (`dirca_trace::wire`).
+    Bin,
+}
+
+impl fmt::Display for WireFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WireFormat::Jsonl => "jsonl",
+            WireFormat::Bin => "bin",
+        })
+    }
+}
+
+impl WireFormat {
+    /// Parses a `--<flag> {jsonl,bin}` value; absent means JSONL.
+    pub fn try_from_flags(flags: &Flags, flag: &str) -> Result<Self, UsageError> {
+        match flags.get(flag) {
+            None => Ok(WireFormat::Jsonl),
+            Some("jsonl") => Ok(WireFormat::Jsonl),
+            Some("bin") => Ok(WireFormat::Bin),
+            Some(other) => Err(UsageError {
+                flag: flag.to_string(),
+                expected: "jsonl or bin",
+                got: other.to_string(),
+            }),
+        }
+    }
+}
+
+/// Whether `bytes` start a binary wire document (vs JSONL text).
+pub fn sniff_binary(bytes: &[u8]) -> bool {
+    bytes.starts_with(&wire::MAGIC)
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint frames.
+// ---------------------------------------------------------------------
+
+/// Cell statuses in a `CKPT_CELL` payload.
+const STATUS_OK: u8 = 0;
+const STATUS_PANICKED: u8 = 1;
+const STATUS_TIMED_OUT: u8 = 2;
+
+const REASON_MAX_EVENTS: u8 = 0;
+const REASON_MAX_SIM_TIME: u8 = 1;
+
+/// The binary checkpoint header: one `CKPT_HEADER` frame carrying the
+/// grid fingerprint, as raw frame bytes ready to write.
+pub fn ckpt_header_frame(fingerprint: &str) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_str(fingerprint);
+    wire::encode_frame(kind::CKPT_HEADER, &w.into_bytes())
+}
+
+/// Decodes a `CKPT_HEADER` payload back into the grid fingerprint.
+pub fn decode_ckpt_header(payload: &[u8]) -> Result<String, PayloadError> {
+    let mut r = WireReader::new(payload);
+    let fingerprint = r.take_str()?.to_string();
+    r.finish()?;
+    Ok(fingerprint)
+}
+
+fn put_opt_f64(w: &mut WireWriter, v: Option<f64>) {
+    match v {
+        Some(v) => {
+            w.put_bool(true);
+            w.put_f64(v);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn take_opt_f64(r: &mut WireReader<'_>) -> Result<Option<f64>, PayloadError> {
+    if r.take_bool()? {
+        Ok(Some(r.take_f64()?))
+    } else {
+        Ok(None)
+    }
+}
+
+/// One cell outcome as a `CKPT_CELL` frame (raw bytes ready to append);
+/// the binary twin of the runner's JSONL `record_line`. Failures are
+/// recorded with their diagnosis but — exactly like the JSONL path —
+/// never restored on resume.
+pub fn ckpt_cell_frame(cell: &Cell, result: &Result<Vec<TopologySample>, CellFailure>) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u64(cell.n as u64);
+    w.put_f64(cell.theta);
+    w.put_u8(encode_scheme(cell.scheme));
+    match result {
+        Ok(samples) => {
+            w.put_u8(STATUS_OK);
+            w.put_u32(samples.len() as u32);
+            for s in samples {
+                w.put_f64(s.throughput);
+                put_opt_f64(&mut w, s.delay_ms);
+                put_opt_f64(&mut w, s.collision_ratio);
+                put_opt_f64(&mut w, s.jain);
+            }
+        }
+        Err(CellFailure::Panicked { topology, message }) => {
+            w.put_u8(STATUS_PANICKED);
+            w.put_u64(*topology as u64);
+            w.put_str(message);
+        }
+        Err(CellFailure::TimedOut { topology, aborted }) => {
+            w.put_u8(STATUS_TIMED_OUT);
+            w.put_u64(*topology as u64);
+            w.put_u8(match aborted.reason {
+                AbortReason::MaxEvents => REASON_MAX_EVENTS,
+                AbortReason::MaxSimTime => REASON_MAX_SIM_TIME,
+            });
+            w.put_u64(aborted.events);
+            w.put_u64(aborted.now.as_nanos());
+        }
+    }
+    wire::encode_frame(kind::CKPT_CELL, &w.into_bytes())
+}
+
+/// Decodes a `CKPT_CELL` payload into its cell and, for `ok` records,
+/// the restorable samples (`None` for recorded failures, which resume
+/// re-runs). The exact inverse of [`ckpt_cell_frame`]; floats round-trip
+/// bit-exactly through their IEEE-754 patterns.
+pub fn decode_ckpt_cell(
+    payload: &[u8],
+) -> Result<(Cell, Option<Vec<TopologySample>>), PayloadError> {
+    let mut r = WireReader::new(payload);
+    let n = r.take_u64()? as usize;
+    let theta = r.take_f64()?;
+    let scheme = decode_scheme(r.take_u8()?, 16)?;
+    let cell = Cell { n, theta, scheme };
+    let status = r.take_u8()?;
+    let samples = match status {
+        STATUS_OK => {
+            let count = r.take_u32()? as usize;
+            let mut samples = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                samples.push(TopologySample {
+                    throughput: r.take_f64()?,
+                    delay_ms: take_opt_f64(&mut r)?,
+                    collision_ratio: take_opt_f64(&mut r)?,
+                    jain: take_opt_f64(&mut r)?,
+                });
+            }
+            Some(samples)
+        }
+        STATUS_PANICKED => {
+            let _topology = r.take_u64()?;
+            let _message = r.take_str()?;
+            None
+        }
+        STATUS_TIMED_OUT => {
+            let _topology = r.take_u64()?;
+            let reason = r.take_u8()?;
+            if reason != REASON_MAX_EVENTS && reason != REASON_MAX_SIM_TIME {
+                return Err(PayloadError {
+                    offset: 0,
+                    what: "unknown abort reason byte",
+                });
+            }
+            let _events = r.take_u64()?;
+            let _at = SimTime::from_nanos(r.take_u64()?);
+            None
+        }
+        _ => {
+            return Err(PayloadError {
+                offset: 17,
+                what: "unknown checkpoint cell status",
+            })
+        }
+    };
+    r.finish()?;
+    Ok((cell, samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirca_mac::Scheme;
+    use dirca_net::RunAborted;
+
+    fn cell() -> Cell {
+        Cell {
+            n: 5,
+            theta: 150.0,
+            scheme: Scheme::DrtsDcts,
+        }
+    }
+
+    #[test]
+    fn ok_cells_round_trip_bit_exactly() {
+        let samples = vec![
+            TopologySample {
+                throughput: 0.123456789,
+                delay_ms: Some(1.5),
+                collision_ratio: None,
+                jain: Some(0.875),
+            },
+            TopologySample {
+                throughput: f64::MIN_POSITIVE,
+                delay_ms: None,
+                collision_ratio: Some(0.1),
+                jain: None,
+            },
+        ];
+        let frame = ckpt_cell_frame(&cell(), &Ok(samples.clone()));
+        let (frames, err) = wire::decode_all(&frame);
+        assert_eq!(err, None);
+        assert_eq!(frames[0].kind, kind::CKPT_CELL);
+        let (back_cell, back) = decode_ckpt_cell(&frames[0].payload).unwrap();
+        assert_eq!(back_cell, cell());
+        assert_eq!(back.unwrap(), samples);
+    }
+
+    #[test]
+    fn failure_cells_decode_but_do_not_restore() {
+        let panicked = ckpt_cell_frame(
+            &cell(),
+            &Err(CellFailure::Panicked {
+                topology: 3,
+                message: "weird \"quoted\"\npayload".into(),
+            }),
+        );
+        let (frames, _) = wire::decode_all(&panicked);
+        let (_, restored) = decode_ckpt_cell(&frames[0].payload).unwrap();
+        assert!(restored.is_none());
+
+        let timed = ckpt_cell_frame(
+            &cell(),
+            &Err(CellFailure::TimedOut {
+                topology: 0,
+                aborted: RunAborted {
+                    reason: AbortReason::MaxEvents,
+                    events: 7,
+                    now: SimTime::from_micros(9),
+                },
+            }),
+        );
+        let (frames, _) = wire::decode_all(&timed);
+        let (_, restored) = decode_ckpt_cell(&frames[0].payload).unwrap();
+        assert!(restored.is_none());
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let frame = ckpt_header_frame("0123456789abcdef");
+        let (frames, err) = wire::decode_all(&frame);
+        assert_eq!(err, None);
+        assert_eq!(frames[0].kind, kind::CKPT_HEADER);
+        assert_eq!(
+            decode_ckpt_header(&frames[0].payload).unwrap(),
+            "0123456789abcdef"
+        );
+    }
+
+    #[test]
+    fn garbage_payloads_are_typed_errors() {
+        assert!(decode_ckpt_cell(&[]).is_err());
+        assert!(decode_ckpt_cell(&[0xFF; 18]).is_err());
+        assert!(decode_ckpt_header(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn format_flag_parses_and_rejects() {
+        let flags = Flags::parse(["--checkpoint-format", "bin"].iter().map(|s| s.to_string()));
+        assert_eq!(
+            WireFormat::try_from_flags(&flags, "checkpoint-format").unwrap(),
+            WireFormat::Bin
+        );
+        let flags = Flags::parse(std::iter::empty());
+        assert_eq!(
+            WireFormat::try_from_flags(&flags, "checkpoint-format").unwrap(),
+            WireFormat::Jsonl
+        );
+        let flags = Flags::parse(["--trace-format", "xml"].iter().map(|s| s.to_string()));
+        let err = WireFormat::try_from_flags(&flags, "trace-format").unwrap_err();
+        assert_eq!(err.flag, "trace-format");
+    }
+
+    #[test]
+    fn sniffing_separates_the_formats() {
+        assert!(sniff_binary(&ckpt_header_frame("x")));
+        assert!(!sniff_binary(b"{\"dirca_checkpoint\":1}"));
+        assert!(!sniff_binary(b""));
+    }
+}

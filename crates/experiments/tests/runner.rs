@@ -11,6 +11,7 @@ use dirca_experiments::ringsim::{CellFailure, RingOutcome};
 use dirca_experiments::runner::{
     enumerate_cells, run_grid, Cell, CheckpointError, GridRun, RunnerConfig,
 };
+use dirca_experiments::wireio::WireFormat;
 use dirca_mac::Scheme;
 use dirca_sim::SimDuration;
 
@@ -23,6 +24,7 @@ fn tiny_scale() -> GridScale {
         seed: 11,
         densities: vec![3],
         beamwidths: vec![90.0],
+        fer: 0.0,
     }
 }
 
@@ -250,11 +252,16 @@ fn resume_rejects_garbage_checkpoints_with_typed_errors() {
         resume(&path).unwrap_err(),
         CheckpointError::MissingHeader
     ));
-    // Valid header, torn record line.
+    // Valid header, torn record line *mid-file* (a later intact record
+    // follows): that is corruption, not a crash tail — still a hard error.
     let fp = dirca_experiments::runner::grid_fingerprint(&scale);
     std::fs::write(
         &path,
-        format!("{{\"dirca_checkpoint\":1,\"fingerprint\":\"{fp}\"}}\n{{\"n\":3,\"thet\n"),
+        format!(
+            "{{\"dirca_checkpoint\":1,\"fingerprint\":\"{fp}\"}}\n\
+             {{\"n\":3,\"thet\n\
+             {{\"n\":3,\"theta\":90,\"scheme\":\"ORTS-OCTS\",\"status\":\"ok\",\"samples\":[]}}\n"
+        ),
     )
     .unwrap();
     assert!(matches!(
@@ -275,6 +282,106 @@ fn resume_rejects_garbage_checkpoints_with_typed_errors() {
         CheckpointError::UnknownCell { line: 2, .. }
     ));
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn torn_trailing_checkpoint_line_is_skipped_with_a_warning() {
+    let scale = tiny_scale();
+    let want = report_of(&scale, &run_grid(&scale, &runner()).unwrap());
+
+    // Run the full grid with a checkpoint, then simulate a crash
+    // mid-write by truncating the file into the middle of its last line.
+    let path = ckpt_path("torn_tail");
+    let with_ckpt = RunnerConfig {
+        checkpoint: Some(path.clone()),
+        ..runner()
+    };
+    run_grid(&scale, &with_ckpt).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let last_line_start = text.trim_end().rfind('\n').unwrap() + 1;
+    let cut = last_line_start + (text.len() - last_line_start) / 2;
+    std::fs::write(&path, &text.as_bytes()[..cut]).unwrap();
+
+    // Resume: the torn cell re-runs instead of the resume failing, a
+    // warning names the skipped line, and the report is byte-identical.
+    let resumed = run_grid(
+        &scale,
+        &RunnerConfig {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..runner()
+        },
+    )
+    .unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(resumed.restored, 2, "the two intact cells restore");
+    assert_eq!(resumed.executed, 1, "the torn cell re-runs");
+    assert_eq!(resumed.warnings.len(), 1, "{:?}", resumed.warnings);
+    assert!(
+        resumed.warnings[0].contains("torn or corrupt"),
+        "{:?}",
+        resumed.warnings
+    );
+    assert_eq!(report_of(&scale, &resumed), want);
+}
+
+#[test]
+fn binary_checkpoint_resumes_to_an_identical_report() {
+    let scale = tiny_scale();
+    let want = report_of(&scale, &run_grid(&scale, &runner()).unwrap());
+
+    let path = ckpt_path("bin_resume");
+    let first = run_grid(
+        &scale,
+        &RunnerConfig {
+            checkpoint: Some(path.clone()),
+            checkpoint_format: WireFormat::Bin,
+            max_cells: Some(1),
+            ..runner()
+        },
+    )
+    .unwrap();
+    assert!(first.stopped_early);
+    let bytes = std::fs::read(&path).unwrap();
+    assert!(
+        dirca_experiments::wireio::sniff_binary(&bytes),
+        "binary checkpoints must start with the wire magic"
+    );
+
+    // Resume WITHOUT the format flag: the reader sniffs the existing
+    // file and keeps appending binary frames.
+    let second = run_grid(
+        &scale,
+        &RunnerConfig {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..runner()
+        },
+    )
+    .unwrap();
+    assert_eq!(second.restored, 1);
+    assert_eq!(second.executed, 2);
+    assert!(second.warnings.is_empty(), "{:?}", second.warnings);
+    assert_eq!(report_of(&scale, &second), want);
+
+    // A torn binary tail (crash mid-frame-write) degrades to a warning
+    // plus a re-run of the lost cell, exactly like the JSONL path.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+    let third = run_grid(
+        &scale,
+        &RunnerConfig {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..runner()
+        },
+    )
+    .unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(third.restored, 2);
+    assert_eq!(third.executed, 1);
+    assert_eq!(third.warnings.len(), 1, "{:?}", third.warnings);
+    assert_eq!(report_of(&scale, &third), want);
 }
 
 #[test]

@@ -45,6 +45,13 @@ pub const MODEL_RUN_STREAM_SALT: u64 = 0x51D;
 /// so scaling fields never correlate with the paper-grid ring draws.
 pub const SCALING_STREAM_SALT: u64 = 0x5CA_11E;
 
+/// Client retry-backoff jitter streams for `dirca-serve`, indexed per
+/// attempt. Jitter only shapes *when* a client retries, never what it
+/// computes — but it is still a seeded stream so two clients launched
+/// with different seeds desynchronize deterministically and a test can
+/// replay the exact retry schedule.
+pub const SERVE_BACKOFF_STREAM_SALT: u64 = 0x5E_1BAC;
+
 /// Every registered salt, for the pairwise-uniqueness test and for
 /// documentation tooling.
 pub const ALL_STREAM_SALTS: &[(&str, u64)] = &[
@@ -54,6 +61,7 @@ pub const ALL_STREAM_SALTS: &[(&str, u64)] = &[
     ("MODEL_STREAM_SALT", MODEL_STREAM_SALT),
     ("MODEL_RUN_STREAM_SALT", MODEL_RUN_STREAM_SALT),
     ("SCALING_STREAM_SALT", SCALING_STREAM_SALT),
+    ("SERVE_BACKOFF_STREAM_SALT", SERVE_BACKOFF_STREAM_SALT),
 ];
 
 #[cfg(test)]
@@ -85,6 +93,7 @@ mod tests {
                 "MODEL_STREAM_SALT",
                 "MODEL_RUN_STREAM_SALT",
                 "SCALING_STREAM_SALT",
+                "SERVE_BACKOFF_STREAM_SALT",
             ]
         );
     }

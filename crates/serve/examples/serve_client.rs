@@ -1,0 +1,118 @@
+//! Command-line client for `dirca-serve`.
+//!
+//! ```text
+//! serve_client --addr HOST:PORT [--seed S] [--topologies T]
+//!              [--measure-ms MS] [--warmup-ms MS] [--n CSV] [--theta CSV]
+//!              [--fer RATE] [--retries R] [--events-budget E]
+//!              [--attempts A] [--backoff-ms B] [--quiet] [--no-validate]
+//!              [--shutdown]
+//! ```
+//!
+//! Submits one scenario, streams progress to stderr, and prints the
+//! report on stdout — byte-identical to `paper_grid` run with the same
+//! parameters. With `--shutdown` it instead asks the server to exit.
+//!
+//! Exit codes: 0 all cells succeeded; 1 the grid completed with failed
+//! cells; 2 usage error; 3 the server rejected the spec; 4 transport or
+//! protocol failure.
+
+use dirca_experiments::cli::Flags;
+use dirca_serve::{client, ClientConfig, Duration, ScenarioSpec, Served};
+
+fn parse_csv<T: std::str::FromStr>(flags: &Flags, name: &str, default: Vec<T>) -> Vec<T> {
+    match flags.get(name) {
+        None => default,
+        Some(raw) => raw
+            .split(',')
+            .map(|tok| {
+                tok.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("--{name}: cannot parse {tok:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let flags = Flags::from_env();
+    let Some(addr) = flags.get("addr") else {
+        eprintln!("usage: serve_client --addr HOST:PORT [spec flags] [--shutdown]");
+        std::process::exit(2);
+    };
+    let mut config = ClientConfig::to(addr);
+    config.attempts = u32::try_from(flags.get_usize("attempts", 5)).unwrap_or(u32::MAX);
+    config.backoff_base_ms = flags.get_u64("backoff-ms", 50);
+    config.io_timeout = Duration::from_millis(flags.get_u64("io-timeout-ms", 60_000));
+
+    if flags.has("shutdown") {
+        if let Err(e) = client::shutdown(&config) {
+            eprintln!("{e}");
+            std::process::exit(4);
+        }
+        eprintln!("server acknowledged shutdown");
+        return;
+    }
+
+    let defaults = ScenarioSpec::default();
+    let spec = ScenarioSpec {
+        seed: flags.get_u64("seed", defaults.seed),
+        topologies: flags.get_usize("topologies", defaults.topologies),
+        measure_ms: flags.get_u64("measure-ms", defaults.measure_ms),
+        warmup_ms: flags.get_u64("warmup-ms", defaults.warmup_ms),
+        densities: parse_csv(&flags, "n", defaults.densities),
+        beamwidths: parse_csv(&flags, "theta", defaults.beamwidths),
+        fer: flags.get_f64("fer", defaults.fer),
+        retries: u32::try_from(flags.get_usize("retries", 1)).unwrap_or(u32::MAX),
+        events_budget: flags.get_u64("events-budget", defaults.events_budget),
+        inject_panic: None,
+    };
+    // Client-side validation catches bad flags before a round-trip; the
+    // server re-validates regardless (it trusts no client). `--no-validate`
+    // skips the local check so reject drills can exercise the server side.
+    if !flags.has("no-validate") {
+        if let Err(e) = spec.validate() {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+    let quiet = flags.has("quiet");
+    match client::submit(&spec, &config) {
+        Ok(Served::Done {
+            report,
+            summary,
+            progress,
+        }) => {
+            if !quiet {
+                for p in &progress {
+                    eprintln!(
+                        "[{}/{}] n={} theta={} {:?}: {} ({} attempts)",
+                        p.done,
+                        p.total,
+                        p.cell.n,
+                        p.cell.theta,
+                        p.cell.scheme,
+                        if p.ok { "ok" } else { "FAILED" },
+                        p.attempts
+                    );
+                }
+            }
+            eprintln!(
+                "done: {} executed, {} restored, {} failed",
+                summary.executed, summary.restored, summary.failed
+            );
+            println!("{report}");
+            if summary.failed > 0 {
+                std::process::exit(1);
+            }
+        }
+        Ok(Served::Rejected(reject)) => {
+            eprintln!("rejected (code {}): {}", reject.code, reject.message);
+            std::process::exit(3);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(4);
+        }
+    }
+}

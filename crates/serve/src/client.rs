@@ -1,0 +1,233 @@
+//! The scenario client: submits a spec and collects the streamed result.
+//!
+//! Retry policy: a connection failure, a mid-stream transport error, or a
+//! `BUSY` shed is retried with exponential backoff plus seeded jitter —
+//! the jitter stream is `derive_seed(spec.seed,
+//! SERVE_BACKOFF_STREAM_SALT)` indexed per attempt, so two clients with
+//! different seeds desynchronize deterministically and a test can replay
+//! the exact schedule. Retrying a half-finished grid is cheap by design:
+//! the server restores every already-checkpointed cell instantly and the
+//! final report is byte-identical regardless of how many tries it took.
+//! A typed `REJECT` is *not* retried — resending a bad spec cannot fix it.
+
+use std::net::TcpStream;
+
+use dirca_net::salts::SERVE_BACKOFF_STREAM_SALT;
+use dirca_sim::rng::{derive_seed, stream_rng};
+use dirca_trace::wire::kind;
+use rand::Rng;
+
+use crate::proto::{
+    decode_accept, decode_busy, decode_done, decode_progress, decode_reject, decode_report, Accept,
+    Done, FrameConn, Progress, Reject, TransportError,
+};
+use crate::spec::ScenarioSpec;
+use crate::Duration;
+
+/// Client policy knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Total connection attempts before giving up.
+    pub attempts: u32,
+    /// Base backoff step in milliseconds; attempt `k` waits
+    /// `base * 2^(k-1)` plus jitter drawn from `[0, base]`.
+    pub backoff_base_ms: u64,
+    /// Socket read/write timeout. Reads are bounded per *frame* and the
+    /// server heartbeats after every cell, so this only needs to exceed
+    /// one cell's runtime, not the whole grid's.
+    pub io_timeout: Duration,
+}
+
+impl ClientConfig {
+    /// A config pointed at `addr` with default retry policy.
+    pub fn to(addr: impl Into<String>) -> Self {
+        ClientConfig {
+            addr: addr.into(),
+            attempts: 5,
+            backoff_base_ms: 50,
+            io_timeout: Duration::from_millis(60_000),
+        }
+    }
+}
+
+/// The server's verdict on a submission.
+#[derive(Debug, Clone)]
+pub enum Served {
+    /// The grid ran (or was restored) to completion.
+    Done {
+        /// The rendered report, byte-identical to the batch harness's.
+        report: String,
+        /// Executed/restored/failed counts.
+        summary: Done,
+        /// Every progress heartbeat received, in order.
+        progress: Vec<Progress>,
+    },
+    /// The server refused the spec with a typed reason (not retried).
+    Rejected(Reject),
+}
+
+/// Why a submission could not be completed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection attempts exhausted (connect failures, mid-stream
+    /// drops, and `BUSY` sheds all land here after the last retry).
+    Transport(String),
+    /// The server spoke the protocol wrong; retrying will not help.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(m) => write!(f, "transport failure: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One attempt's outcome: a final answer, or a reason to back off.
+enum Attempt {
+    Final(Served),
+    Busy(u32),
+}
+
+/// The deterministic backoff delay before retry attempt `attempt` (1-based).
+fn backoff_delay(seed: u64, attempt: u32, base_ms: u64) -> Duration {
+    let mut rng = stream_rng(
+        derive_seed(seed, SERVE_BACKOFF_STREAM_SALT),
+        u64::from(attempt),
+    );
+    let step = base_ms.saturating_mul(1u64 << attempt.saturating_sub(1).min(6));
+    let jitter: u64 = rng.random_range(0..=base_ms.max(1));
+    Duration::from_millis(step.saturating_add(jitter))
+}
+
+/// Submits `spec` and blocks until the server's final answer, retrying
+/// transport failures and `BUSY` sheds with jittered backoff.
+pub fn submit(spec: &ScenarioSpec, config: &ClientConfig) -> Result<Served, ClientError> {
+    let mut last = String::from("no attempts were made");
+    for attempt in 0..config.attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(backoff_delay(spec.seed, attempt, config.backoff_base_ms));
+        }
+        match attempt_once(spec, config) {
+            Ok(Attempt::Final(served)) => return Ok(served),
+            Ok(Attempt::Busy(pending)) => {
+                last = format!("server busy ({pending} submissions already queued)");
+            }
+            Err(ClientError::Transport(m)) => last = m,
+            Err(protocol) => return Err(protocol),
+        }
+    }
+    Err(ClientError::Transport(format!(
+        "gave up after {} attempts; last failure: {last}",
+        config.attempts.max(1)
+    )))
+}
+
+/// Asks the server to exit; `Ok` once the `SHUTDOWN_ACK` arrives.
+pub fn shutdown(config: &ClientConfig) -> Result<(), ClientError> {
+    let mut conn = connect(config)?;
+    conn.write_frame(kind::SHUTDOWN, &[]).map_err(transport)?;
+    let frame = conn.expect_frame().map_err(transport)?;
+    if frame.kind == kind::SHUTDOWN_ACK {
+        Ok(())
+    } else {
+        Err(ClientError::Protocol(format!(
+            "expected SHUTDOWN_ACK, got frame kind {:#04x}",
+            frame.kind
+        )))
+    }
+}
+
+fn transport(e: TransportError) -> ClientError {
+    ClientError::Transport(e.to_string())
+}
+
+fn protocol(e: impl std::fmt::Display) -> ClientError {
+    ClientError::Protocol(e.to_string())
+}
+
+fn connect(config: &ClientConfig) -> Result<FrameConn, ClientError> {
+    let stream = TcpStream::connect(&config.addr)
+        .map_err(|e| ClientError::Transport(format!("connect {}: {e}", config.addr)))?;
+    stream
+        .set_read_timeout(Some(config.io_timeout))
+        .and_then(|()| stream.set_write_timeout(Some(config.io_timeout)))
+        .map_err(|e| ClientError::Transport(format!("set timeouts: {e}")))?;
+    Ok(FrameConn::new(stream))
+}
+
+fn attempt_once(spec: &ScenarioSpec, config: &ClientConfig) -> Result<Attempt, ClientError> {
+    let mut conn = connect(config)?;
+    conn.write_frame(kind::SUBMIT, &spec.encode())
+        .map_err(transport)?;
+    let mut accept: Option<Accept> = None;
+    let mut progress = Vec::new();
+    let mut report: Option<String> = None;
+    loop {
+        let frame = conn.expect_frame().map_err(transport)?;
+        match frame.kind {
+            kind::BUSY => {
+                return Ok(Attempt::Busy(
+                    decode_busy(&frame.payload).map_err(protocol)?,
+                ));
+            }
+            kind::REJECT => {
+                let reject = decode_reject(&frame.payload).map_err(protocol)?;
+                return Ok(Attempt::Final(Served::Rejected(reject)));
+            }
+            kind::ACCEPT => {
+                accept = Some(decode_accept(&frame.payload).map_err(protocol)?);
+            }
+            kind::PROGRESS if accept.is_some() => {
+                progress.push(decode_progress(&frame.payload).map_err(protocol)?);
+            }
+            kind::REPORT if accept.is_some() => {
+                report = Some(decode_report(&frame.payload).map_err(protocol)?);
+            }
+            kind::DONE if accept.is_some() => {
+                let summary = decode_done(&frame.payload).map_err(protocol)?;
+                let report = report.ok_or_else(|| {
+                    ClientError::Protocol("DONE arrived before any REPORT".into())
+                })?;
+                return Ok(Attempt::Final(Served::Done {
+                    report,
+                    summary,
+                    progress,
+                }));
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected frame kind {other:#04x} at this point in the conversation"
+                )));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_seed_deterministic_and_grows() {
+        let a: Vec<Duration> = (1..=4).map(|k| backoff_delay(7, k, 50)).collect();
+        let b: Vec<Duration> = (1..=4).map(|k| backoff_delay(7, k, 50)).collect();
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        let c: Vec<Duration> = (1..=4).map(|k| backoff_delay(8, k, 50)).collect();
+        assert_ne!(a, c, "different seeds must desynchronize");
+        for (k, d) in a.iter().enumerate() {
+            let step = 50 * (1 << k);
+            assert!(
+                (step..=step + 50).contains(&(d.as_millis() as u64)),
+                "attempt {}: {d:?} outside [{step}, {step} + base]",
+                k + 1
+            );
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! The service protocol: CRC-framed messages over TCP.
+//!
+//! Every message is one `dirca_trace::wire` frame — the same magic,
+//! version, length-prefix, and CRC32 trailer as the on-disk trace and
+//! checkpoint formats, so a network capture is decodable by the same
+//! tooling that reads a checkpoint. The conversation:
+//!
+//! ```text
+//! client                               server
+//!   SUBMIT(spec) ──────────────────────▶
+//!   ◀────────────────── ACCEPT(fingerprint, total)   (or REJECT / BUSY)
+//!   ◀────────────────── PROGRESS(done, total, cell, ok, attempts)  ×cells
+//!   ◀────────────────── REPORT(text)
+//!   ◀────────────────── DONE(executed, restored, failed)
+//! ```
+//!
+//! `PROGRESS` frames double as heartbeats: one arrives after every cell,
+//! so a client read timeout generously above the per-cell runtime
+//! distinguishes "slow grid" from "dead server". A `SHUTDOWN` frame in
+//! place of `SUBMIT` asks the server to exit after `SHUTDOWN_ACK`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use dirca_experiments::runner::Cell;
+use dirca_mac::Scheme;
+use dirca_trace::wire::{
+    self, decode_scheme, encode_scheme, Frame, PayloadError, WireError, WireReader, WireWriter,
+    HEADER_LEN, TRAILER_LEN,
+};
+
+/// Reject codes carried by a `REJECT` frame.
+pub mod reject {
+    /// The `SUBMIT` payload did not decode as a spec.
+    pub const MALFORMED: u8 = 1;
+    /// The spec decoded but failed validation.
+    pub const INVALID: u8 = 2;
+    /// The server could not serve a valid spec (internal error, e.g. an
+    /// unreadable state directory) or the conversation broke protocol.
+    pub const SERVER: u8 = 3;
+}
+
+/// Transport-layer failure: the connection died or carried bytes that are
+/// not valid frames.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Socket I/O failed (includes read/write timeouts).
+    Io(std::io::Error),
+    /// The peer sent bytes that are not a valid frame.
+    Wire(WireError),
+    /// The peer closed the connection mid-conversation.
+    Closed,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "socket error: {e}"),
+            TransportError::Wire(e) => write!(f, "wire error: {e}"),
+            TransportError::Closed => write!(f, "peer closed the connection mid-conversation"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+/// A framed TCP connection: reads and writes whole CRC-verified frames,
+/// tracking the stream offset so wire errors carry the exact byte
+/// position, just like the on-disk decoders.
+#[derive(Debug)]
+pub struct FrameConn {
+    stream: TcpStream,
+    read_offset: u64,
+}
+
+/// Reads exactly `buf.len()` bytes unless EOF intervenes; returns how
+/// many bytes were read (a short count means EOF).
+fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+impl FrameConn {
+    /// Wraps a connected stream.
+    pub fn new(stream: TcpStream) -> Self {
+        FrameConn {
+            stream,
+            read_offset: 0,
+        }
+    }
+
+    /// The underlying stream (for timeouts and shutdown).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Reads one frame. `Ok(None)` is a clean EOF *at a frame boundary*;
+    /// EOF mid-frame is a typed [`WireError::Truncated`], exactly like a
+    /// torn file tail.
+    pub fn read_frame(&mut self) -> Result<Option<Frame>, TransportError> {
+        let offset = self.read_offset;
+        let mut header = [0u8; HEADER_LEN];
+        let got = read_full(&mut self.stream, &mut header)?;
+        if got == 0 {
+            return Ok(None);
+        }
+        if got < HEADER_LEN {
+            return Err(TransportError::Wire(WireError::Truncated {
+                offset,
+                needed: HEADER_LEN as u64,
+                available: got as u64,
+            }));
+        }
+        let (kind, len) = wire::parse_header(&header, offset).map_err(TransportError::Wire)?;
+        let mut rest = vec![0u8; len as usize + TRAILER_LEN];
+        let got = read_full(&mut self.stream, &mut rest)?;
+        if got < rest.len() {
+            return Err(TransportError::Wire(WireError::Truncated {
+                offset,
+                needed: (HEADER_LEN + len as usize + TRAILER_LEN) as u64,
+                available: (HEADER_LEN + got) as u64,
+            }));
+        }
+        let payload_end = len as usize;
+        let stored = u32::from_le_bytes([
+            rest[payload_end],
+            rest[payload_end + 1],
+            rest[payload_end + 2],
+            rest[payload_end + 3],
+        ]);
+        // The CRC covers version..payload: header minus the magic, plus
+        // the payload bytes.
+        let mut body = Vec::with_capacity(HEADER_LEN - 4 + payload_end);
+        body.extend_from_slice(&header[4..]);
+        body.extend_from_slice(&rest[..payload_end]);
+        wire::verify_crc(&body, stored, offset).map_err(TransportError::Wire)?;
+        self.read_offset += (HEADER_LEN + len as usize + TRAILER_LEN) as u64;
+        rest.truncate(payload_end);
+        Ok(Some(Frame {
+            kind,
+            payload: rest,
+        }))
+    }
+
+    /// Like [`FrameConn::read_frame`], but a clean EOF is also an error —
+    /// for conversation points where the peer owes us a frame.
+    pub fn expect_frame(&mut self) -> Result<Frame, TransportError> {
+        self.read_frame()?.ok_or(TransportError::Closed)
+    }
+
+    /// Writes one frame and flushes it.
+    pub fn write_frame(&mut self, kind: u8, payload: &[u8]) -> Result<(), TransportError> {
+        self.stream.write_all(&wire::encode_frame(kind, payload))?;
+        self.stream.flush()?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message payload codecs.
+// ---------------------------------------------------------------------
+
+/// `ACCEPT`: the server took the job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Accept {
+    /// Fingerprint of the grid (names the server-side checkpoint).
+    pub fingerprint: String,
+    /// Total cells in the grid.
+    pub total: u32,
+}
+
+/// Encodes an [`Accept`] payload.
+pub fn encode_accept(a: &Accept) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_str(&a.fingerprint);
+    w.put_u32(a.total);
+    w.into_bytes()
+}
+
+/// Decodes an [`Accept`] payload.
+pub fn decode_accept(payload: &[u8]) -> Result<Accept, PayloadError> {
+    let mut r = WireReader::new(payload);
+    let fingerprint = r.take_str()?.to_string();
+    let total = r.take_u32()?;
+    r.finish()?;
+    Ok(Accept { fingerprint, total })
+}
+
+/// `REJECT`: the server refused the job with a typed reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reject {
+    /// One of the [`reject`] codes.
+    pub code: u8,
+    /// Human-readable diagnosis.
+    pub message: String,
+}
+
+/// Encodes a [`Reject`] payload.
+pub fn encode_reject(code: u8, message: &str) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(code);
+    w.put_str(message);
+    w.into_bytes()
+}
+
+/// Decodes a [`Reject`] payload.
+pub fn decode_reject(payload: &[u8]) -> Result<Reject, PayloadError> {
+    let mut r = WireReader::new(payload);
+    let code = r.take_u8()?;
+    let message = r.take_str()?.to_string();
+    r.finish()?;
+    Ok(Reject { code, message })
+}
+
+/// `PROGRESS`: one cell finished (or was restored from the checkpoint).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Progress {
+    /// Cells complete so far (restored + executed).
+    pub done: u32,
+    /// Total cells in the grid.
+    pub total: u32,
+    /// The cell that just completed.
+    pub cell: Cell,
+    /// Whether it produced samples (false: recorded failure).
+    pub ok: bool,
+    /// Attempts spent this invocation (0 for a restored cell).
+    pub attempts: u32,
+}
+
+/// Encodes a [`Progress`] payload.
+pub fn encode_progress(p: &Progress) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u32(p.done);
+    w.put_u32(p.total);
+    w.put_u64(p.cell.n as u64);
+    w.put_f64(p.cell.theta);
+    w.put_u8(encode_scheme(p.cell.scheme));
+    w.put_bool(p.ok);
+    w.put_u32(p.attempts);
+    w.into_bytes()
+}
+
+/// Decodes a [`Progress`] payload.
+pub fn decode_progress(payload: &[u8]) -> Result<Progress, PayloadError> {
+    let mut r = WireReader::new(payload);
+    let done = r.take_u32()?;
+    let total = r.take_u32()?;
+    let n = r.take_u64()? as usize;
+    let theta = r.take_f64()?;
+    let scheme: Scheme = decode_scheme(r.take_u8()?, 24)?;
+    let ok = r.take_bool()?;
+    let attempts = r.take_u32()?;
+    r.finish()?;
+    Ok(Progress {
+        done,
+        total,
+        cell: Cell { n, theta, scheme },
+        ok,
+        attempts,
+    })
+}
+
+/// `DONE`: the terminal summary after the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Done {
+    /// Cells executed this run.
+    pub executed: u32,
+    /// Cells restored from the checkpoint.
+    pub restored: u32,
+    /// Cells that ended in a recorded failure.
+    pub failed: u32,
+}
+
+/// Encodes a [`Done`] payload.
+pub fn encode_done(d: &Done) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u32(d.executed);
+    w.put_u32(d.restored);
+    w.put_u32(d.failed);
+    w.into_bytes()
+}
+
+/// Decodes a [`Done`] payload.
+pub fn decode_done(payload: &[u8]) -> Result<Done, PayloadError> {
+    let mut r = WireReader::new(payload);
+    let done = Done {
+        executed: r.take_u32()?,
+        restored: r.take_u32()?,
+        failed: r.take_u32()?,
+    };
+    r.finish()?;
+    Ok(done)
+}
+
+/// Encodes a `REPORT` payload (the rendered report text).
+pub fn encode_report(text: &str) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_str(text);
+    w.into_bytes()
+}
+
+/// Decodes a `REPORT` payload.
+pub fn decode_report(payload: &[u8]) -> Result<String, PayloadError> {
+    let mut r = WireReader::new(payload);
+    let text = r.take_str()?.to_string();
+    r.finish()?;
+    Ok(text)
+}
+
+/// Encodes a `BUSY` payload: how many submissions are already waiting.
+pub fn encode_busy(pending: u32) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u32(pending);
+    w.into_bytes()
+}
+
+/// Decodes a `BUSY` payload.
+pub fn decode_busy(payload: &[u8]) -> Result<u32, PayloadError> {
+    let mut r = WireReader::new(payload);
+    let pending = r.take_u32()?;
+    r.finish()?;
+    Ok(pending)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_payloads_round_trip() {
+        let a = Accept {
+            fingerprint: "0123456789abcdef".into(),
+            total: 27,
+        };
+        assert_eq!(decode_accept(&encode_accept(&a)).unwrap(), a);
+
+        let rej = Reject {
+            code: reject::INVALID,
+            message: "invalid spec: fer must be in [0, 1)".into(),
+        };
+        assert_eq!(
+            decode_reject(&encode_reject(rej.code, &rej.message)).unwrap(),
+            rej
+        );
+
+        let p = Progress {
+            done: 3,
+            total: 27,
+            cell: Cell {
+                n: 5,
+                theta: 150.0,
+                scheme: Scheme::DrtsOcts,
+            },
+            ok: true,
+            attempts: 2,
+        };
+        assert_eq!(decode_progress(&encode_progress(&p)).unwrap(), p);
+
+        let d = Done {
+            executed: 20,
+            restored: 7,
+            failed: 1,
+        };
+        assert_eq!(decode_done(&encode_done(&d)).unwrap(), d);
+
+        assert_eq!(
+            decode_report(&encode_report("Fig. 6 …\n")).unwrap(),
+            "Fig. 6 …\n"
+        );
+        assert_eq!(decode_busy(&encode_busy(4)).unwrap(), 4);
+    }
+
+    #[test]
+    fn garbage_message_payloads_are_typed_errors() {
+        assert!(decode_accept(&[1, 2]).is_err());
+        assert!(decode_reject(&[]).is_err());
+        assert!(decode_progress(&[0xAB; 7]).is_err());
+        assert!(decode_done(&[0; 13]).is_err(), "trailing bytes refused");
+        assert!(
+            decode_report(&[9, 0, 0, 0]).is_err(),
+            "short string refused"
+        );
+        assert!(decode_busy(&[]).is_err());
+    }
+}

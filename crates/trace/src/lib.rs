@@ -52,8 +52,10 @@ pub mod json;
 mod metrics;
 mod record;
 mod ring;
+pub mod wire;
 
 pub use json::{Json, JsonError};
 pub use metrics::MetricsRegistry;
 pub use record::{RecordKind, TraceRecord};
 pub use ring::{fnv1a, RingTrace};
+pub use wire::{Frame, FrameDecoder, PayloadError, WireError, WireReader, WireWriter};
