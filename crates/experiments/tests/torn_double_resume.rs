@@ -1,0 +1,54 @@
+//! Review probe: torn tail -> resume -> resume again.
+
+use dirca_experiments::report::GridScale;
+use dirca_experiments::runner::{run_grid, RunnerConfig};
+use dirca_sim::SimDuration;
+
+fn tiny_scale() -> GridScale {
+    GridScale {
+        topologies: 1,
+        measure: SimDuration::from_millis(40),
+        warmup: SimDuration::from_millis(5),
+        threads: 1,
+        seed: 11,
+        densities: vec![3],
+        beamwidths: vec![90.0],
+        fer: 0.0,
+    }
+}
+
+#[test]
+fn second_resume_after_torn_tail() {
+    let scale = tiny_scale();
+    let path = std::env::temp_dir().join(format!("torn_double_{}.ckpt", std::process::id()));
+    let cfg = |resume: bool| RunnerConfig {
+        threads: 1,
+        checkpoint: Some(path.clone()),
+        resume,
+        ..RunnerConfig::default()
+    };
+    run_grid(&scale, &cfg(false)).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let last_line_start = text.trim_end().rfind('\n').unwrap() + 1;
+    let cut = last_line_start + (text.len() - last_line_start) / 2;
+    std::fs::write(&path, &text.as_bytes()[..cut]).unwrap();
+
+    // First resume: tolerates the torn tail, re-runs the cell, appends.
+    let first = run_grid(&scale, &cfg(true)).unwrap();
+    assert_eq!(first.warnings.len(), 1, "{:?}", first.warnings);
+
+    // Second resume: should restore everything cleanly.
+    let second = run_grid(&scale, &cfg(true));
+    let _ = std::fs::remove_file(&path);
+    match second {
+        Ok(run) => {
+            eprintln!(
+                "second resume: restored={} executed={} warnings={:?}",
+                run.restored, run.executed, run.warnings
+            );
+            assert!(run.warnings.is_empty(), "second resume still degraded: {:?}", run.warnings);
+            assert_eq!(run.restored, 3, "all cells should restore");
+        }
+        Err(e) => panic!("second resume hard-errored: {e}"),
+    }
+}
